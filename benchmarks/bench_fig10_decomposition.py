@@ -1,0 +1,44 @@
+"""Bench: Fig. 10 — JCT decomposition (§7.2).
+
+Shapes: quantization costs ~1–3% of JCT for every quantized method; KV
+transfer drops by >75% once compressed; HACK's approximation bucket is
+a small fraction of the comparators' dequantization bucket; HACK's
+prefill beats everyone's on long sequences.
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import fig9_12_jct
+
+SCALE = 0.5
+
+
+def test_fig10_decomposition(benchmark):
+    result = run_once(benchmark, fig9_12_jct.run_fig9_fig10, scale=SCALE)
+    show(result)
+
+    for dataset in ("arxiv", "cocktail"):
+        decomp = {m: result.results[dataset][m].mean_decomposition()
+                  for m in ("baseline", "cachegen", "kvquant", "hack")}
+        jct = {m: result.results[dataset][m].avg_jct()
+               for m in decomp}
+
+        # Quantization cost is a one-time, low-percent overhead.
+        for method in ("cachegen", "kvquant", "hack"):
+            assert decomp[method]["quant"] / jct[method] < 0.05, (dataset, method)
+
+        # KV transfer shrinks by >75% under every quantized method.
+        for method in ("cachegen", "kvquant", "hack"):
+            assert decomp[method]["comm"] < 0.25 * decomp["baseline"]["comm"]
+
+        # HACK's Eq.4 approximation is far cheaper than dequantization.
+        assert decomp["hack"]["dequant_or_approx"] < \
+            0.25 * decomp["cachegen"]["dequant_or_approx"], dataset
+
+        # HACK's INT8 prefill beats the others on long sequences.
+        assert decomp["hack"]["prefill"] < decomp["baseline"]["prefill"]
+        assert decomp["hack"]["prefill"] < decomp["cachegen"]["prefill"]
+
+        # CacheGen/KVQuant decode (ex-dequant) beats the baseline's —
+        # the reduced KV memory traffic (paper: 16.5–38.1%).
+        assert decomp["cachegen"]["decode"] < decomp["baseline"]["decode"]

@@ -1,0 +1,35 @@
+"""Bench: Fig. 12 — average JCT by prefill instance (§7.2).
+
+The two headline claims: HACK's gain over the *baseline* peaks on V100
+(lowest bandwidth: paper 70.9%), while its gain over the quantization
+comparators bottoms out there (no INT8 tensor cores: paper 37.4%).
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import fig9_12_jct
+
+SCALE = 0.7
+GPUS = ("A10G", "V100", "T4", "L4", "A100")
+
+
+def test_fig12_jct_by_instance(benchmark):
+    result = run_once(benchmark, fig9_12_jct.run_fig12, scale=SCALE)
+    show(result)
+
+    vs_base = {g: result.reduction(g, "hack", "baseline") for g in GPUS}
+    vs_cg = {g: result.reduction(g, "hack", "cachegen") for g in GPUS}
+
+    # HACK beats everything everywhere.
+    for gpu in GPUS:
+        assert vs_base[gpu] > 0.3, gpu
+        assert vs_cg[gpu] > 0, gpu
+        assert result.reduction(gpu, "hack", "kvquant") >= vs_cg[gpu] - 0.02
+
+    # V100: biggest gain vs baseline (bandwidth), smallest vs CacheGen
+    # (no INT8 acceleration).
+    assert vs_base["V100"] == max(vs_base.values())
+    assert vs_cg["V100"] == min(vs_cg.values())
+
+    # V100's baseline gain in the paper's region (70.9% ± ~12 points).
+    assert 0.55 <= vs_base["V100"] <= 0.85

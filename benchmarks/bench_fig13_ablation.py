@@ -1,0 +1,37 @@
+"""Bench: Fig. 13 — the SE and RQE ablations (§7.4).
+
+Paper: HACK/SE costs +13.8–15.3% JCT on short-sequence datasets and
++22.1–25.9% on long ones (recomputing Σb' scales with context);
+HACK/RQE costs +17.8–21.7% on short datasets but only +0.09–1.2% on
+long ones (the last V block is a shrinking fraction of the work).
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import fig13_ablation
+
+SCALE = 0.5
+
+
+def test_fig13_ablation(benchmark):
+    result = run_once(benchmark, fig13_ablation.run_fig13, scale=SCALE)
+    show(result)
+
+    # Both ablations hurt on every dataset.
+    for dataset in ("imdb", "arxiv", "cocktail", "humaneval"):
+        assert result.overhead(dataset, "hack_nose") > 0, dataset
+        assert result.overhead(dataset, "hack_norqe") >= 0, dataset
+
+    # SE matters most at long context.
+    assert result.overhead("cocktail", "hack_nose") > \
+        result.overhead("imdb", "hack_nose")
+    assert result.overhead("arxiv", "hack_nose") > \
+        result.overhead("humaneval", "hack_nose")
+
+    # RQE matters most at short context, and is nearly free at long.
+    assert result.overhead("imdb", "hack_norqe") > \
+        result.overhead("cocktail", "hack_norqe")
+    assert result.overhead("cocktail", "hack_norqe") < 0.08
+
+    # Long-context SE overhead lands in the paper's region.
+    assert 0.08 <= result.overhead("cocktail", "hack_nose") <= 0.45

@@ -1,0 +1,34 @@
+"""Bench: Fig. 14 — scalability with the prefill:decode ratio p (§7.6).
+
+Paper: from p=1 to p=8 the baseline's average JCT grows by 127% while
+CacheGen/KVQuant/HACK grow only 31–43% — compression removes the KV
+transfer/memory pressure that otherwise swamps the shared decode
+replica.
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import fig14_scalability
+
+SCALE = 0.6
+
+
+def test_fig14_scalability(benchmark):
+    result = run_once(benchmark, fig14_scalability.run, scale=SCALE)
+    show(result)
+
+    growth = {m: result.growth(m)
+              for m in ("baseline", "cachegen", "kvquant", "hack")}
+
+    # The baseline deteriorates much faster than every quantized method.
+    assert growth["baseline"] > 0.35
+    for method in ("cachegen", "kvquant", "hack"):
+        assert growth[method] < 0.6 * growth["baseline"], method
+
+    # HACK stays essentially flat.
+    assert growth["hack"] < 0.25
+
+    # JCT ordering holds at every p.
+    for p, res in result.results.items():
+        assert res["hack"].avg_jct() < res["cachegen"].avg_jct() \
+            < res["baseline"].avg_jct(), p

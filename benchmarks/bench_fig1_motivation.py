@@ -1,0 +1,49 @@
+"""Bench: Fig. 1 — baseline bottleneck ratios (§2.1).
+
+Regenerates all four panels and checks the §2.1 observations: comm up
+to ~42% of the bucket sum on low-bandwidth instances but small on A100;
+decode the largest bucket; pipelining ineffective exactly where the
+paper says it is.
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import fig1_motivation
+
+SCALE = 0.4
+
+
+def test_fig1_motivation(benchmark):
+    result = run_once(benchmark, fig1_motivation.run, scale=SCALE)
+    show(result)
+
+    comm = {gpu: vals[1] for gpu, vals in result.by_gpu.series.items()}
+    decode = {gpu: vals[2] for gpu, vals in result.by_gpu.series.items()}
+
+    # Fig 1(a): A100's 400 Gbps keeps comm tiny; 10-50 Gbps instances
+    # pay double digits, V100 the most.
+    assert comm["A100"] < 10.0
+    for gpu in ("A10G", "V100", "T4", "L4"):
+        assert comm[gpu] > 10.0
+    assert comm["V100"] == max(comm.values())
+    # Decode is the largest bucket except on V100, whose 10 Gbps NIC
+    # lets communication take over (our network calibration is more
+    # pessimistic there than the paper's Fig. 1(a); see EXPERIMENTS.md).
+    for gpu, vals in result.by_gpu.series.items():
+        if gpu != "V100":
+            assert decode[gpu] == max(vals), gpu
+
+    # Fig 1(c): long-sequence datasets dominate comm.
+    ds_comm = {d: vals[1] for d, vals in result.by_dataset.series.items()}
+    assert ds_comm["cocktail"] > ds_comm["imdb"]
+    assert ds_comm["arxiv"] > ds_comm["humaneval"]
+
+    # Fig 1(d): pipelining leaves a few percent exposed at light load;
+    # on V100 — where comm far exceeds prefill, the paper's case (i) —
+    # the ratio climbs steeply with RPS.  A100 stays small throughout.
+    v100 = result.pipelining.series["V100"]
+    assert v100[-1] > v100[0] + 5.0  # several points of growth
+    assert max(result.pipelining.series["A100"]) < 10.0
+    for gpu in ("A10G", "T4", "L4"):
+        series = result.pipelining.series[gpu]
+        assert series[-1] >= 0.8 * series[0]  # non-degrading with load

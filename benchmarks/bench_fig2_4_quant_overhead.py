@@ -1,0 +1,38 @@
+"""Bench: Figs. 2–4 — comparator quantization overhead (§2.2).
+
+Shape: CacheGen/KVQuant collapse the comm ratio but introduce a
+dequantization bucket in the double-digit percent range on
+long-sequence workloads — Observation 2.
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import fig1_motivation, fig2_4_quant_overhead
+
+SCALE = 0.4
+
+
+def test_fig2_4_quant_overhead(benchmark):
+    result = run_once(benchmark, fig2_4_quant_overhead.run, scale=SCALE)
+    show(result)
+
+    baseline = fig1_motivation.run(scale=SCALE)
+    base_comm = {g: v[1] for g, v in baseline.by_gpu.series.items()}
+
+    for method in ("cachegen", "kvquant"):
+        by_gpu = result.by_gpu[method].series
+        for gpu in ("A10G", "V100", "T4", "L4"):
+            comm = by_gpu[gpu][1]
+            dequant = by_gpu[gpu][2]
+            # Comm collapses relative to the baseline...
+            assert comm < 0.4 * base_comm[gpu], (method, gpu)
+            # ...but dequantization appears in its place.
+            assert dequant > 5.0, (method, gpu)
+
+        # Fig 4: long-sequence datasets pay far more dequantization.
+        # Ratios compress the gap (the paper's 12-25x is in absolute
+        # time, checked in tests/experiments); the ratio ordering and a
+        # clear margin must still hold.
+        by_ds = result.by_dataset[method].series
+        assert by_ds["cocktail"][2] > 1.4 * by_ds["imdb"][2]
+        assert by_ds["arxiv"][2] > 1.4 * by_ds["humaneval"][2]

@@ -1,0 +1,38 @@
+"""Bench: Fig. 9 — average JCT by dataset (§7.2).
+
+Paper numbers for Llama-70B on A10G prefill: HACK cuts JCT vs the
+baseline by 38.6% (IMDb), 40.1% (HumanEval), 55.3% (arXiv), 61.6%
+(Cocktail), and vs CacheGen by 19.2/22.5/36.8/41.5%.  The reproduction
+asserts the ordering, the long-beats-short pattern, and that the
+long-sequence reductions land in the paper's region.
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import fig9_12_jct
+
+SCALE = 0.7
+
+
+def test_fig9_jct_by_dataset(benchmark):
+    result = run_once(benchmark, fig9_12_jct.run_fig9_fig10, scale=SCALE)
+    show(result)
+
+    for dataset in ("imdb", "arxiv", "cocktail", "humaneval"):
+        jcts = {m: result.results[dataset][m].avg_jct()
+                for m in ("baseline", "cachegen", "kvquant", "hack")}
+        # Full ordering: HACK < CacheGen <= KVQuant < Baseline.
+        assert jcts["hack"] < jcts["cachegen"], dataset
+        assert jcts["cachegen"] <= jcts["kvquant"], dataset
+        assert jcts["kvquant"] < jcts["baseline"], dataset
+
+    # Long-sequence reductions exceed short-sequence ones.
+    assert result.reduction("cocktail", "hack", "baseline") > \
+        result.reduction("imdb", "hack", "baseline")
+    assert result.reduction("arxiv", "hack", "baseline") > \
+        result.reduction("humaneval", "hack", "baseline")
+
+    # Long-sequence magnitudes in the paper's region (±~15 points).
+    assert 0.40 <= result.reduction("cocktail", "hack", "baseline") <= 0.75
+    assert 0.40 <= result.reduction("arxiv", "hack", "baseline") <= 0.72
+    assert 0.25 <= result.reduction("cocktail", "hack", "cachegen") <= 0.55

@@ -1,0 +1,48 @@
+"""Bench: Table 5 — peak decode memory usage, plus the §7.4 overheads.
+
+Shapes: the baseline's FP16 KV pressures memory hardest on the
+long-sequence datasets; every quantized method cuts peak usage; HACK
+sits at or slightly above CacheGen/KVQuant (SE sums + RQE buffer); the
+SE and RQE side structures are small fractions of replica memory with
+SE ≫ RQE.
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import table5_memory
+
+SCALE = 0.5
+
+
+def test_table5_memory(benchmark):
+    result = run_once(benchmark, table5_memory.run, scale=SCALE)
+    show(result)
+
+    for dataset in ("imdb", "arxiv", "cocktail", "humaneval"):
+        peaks = result.peaks[dataset]
+        # Quantized methods never exceed the baseline's peak.
+        for method in ("cachegen", "kvquant", "hack"):
+            assert peaks[method] <= peaks["baseline"] + 1e-9, (dataset, method)
+        # HACK's extras keep its peak essentially at the plain 2-bit
+        # methods' level (paper: +0.6-2.9 points; here HACK's faster
+        # drain can offset the static overhead, so allow near-equality).
+        assert peaks["hack"] >= 0.98 * peaks["kvquant"], dataset
+
+    # The *static* per-request claim behind §7.4: HACK's resident KV
+    # bytes strictly exceed the comparators' (SE sums ride along).
+    from repro.methods import get_method
+
+    assert get_method("hack").kv_mem_bytes_per_value > \
+        get_method("kvquant").kv_mem_bytes_per_value
+
+    # Long-sequence baselines pressure memory hardest.
+    assert result.peaks["cocktail"]["baseline"] > \
+        result.peaks["imdb"]["baseline"]
+    assert result.peaks["arxiv"]["baseline"] > \
+        result.peaks["humaneval"]["baseline"]
+
+    # §7.4 side structures: small, and SE sums dominate the RQE tail.
+    assert 0 < result.rqe_fraction < 0.01
+    for dataset, frac in result.se_fraction.items():
+        assert 0 < frac < 0.03, dataset
+    assert result.se_fraction["cocktail"] > result.rqe_fraction

@@ -1,0 +1,28 @@
+"""Bench: Table 7 — the accuracy cost of disabling RQE (§7.4).
+
+Paper: HACK/RQE loses 0.14–0.29 accuracy points versus HACK, the
+smallest drop on IMDb (shortest outputs — requantization error only
+accumulates during decode).
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import fig13_ablation
+
+
+def test_table7_rqe_accuracy(benchmark):
+    result = run_once(benchmark, fig13_ablation.run_table7, n_trials=4)
+    show(result)
+
+    # Every dataset loses accuracy, by a fraction of a point.
+    for dataset, drop in result.drops.items():
+        assert -1.0 < drop < 0.0, dataset
+
+    # IMDb (shortest outputs) shows the smallest decrease.
+    assert abs(result.drops["imdb"]) == min(
+        abs(d) for d in result.drops.values()
+    )
+
+    # Magnitudes within ~3x of the paper's 0.14–0.29 points.
+    for dataset, drop in result.drops.items():
+        assert 0.02 <= abs(drop) <= 0.9, (dataset, drop)

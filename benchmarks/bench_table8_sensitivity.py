@@ -1,0 +1,32 @@
+"""Bench: Table 8 — partition-size sensitivity (§7.5).
+
+Paper: relative to Π=128, Π=32 gains up to 1.53 accuracy points but up
+to 28% JCT; Π=64 gains less and costs less — the accuracy/performance
+trade-off that makes Π=64 the default.
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import table8_sensitivity
+
+SCALE = 0.5
+
+
+def test_table8_sensitivity(benchmark):
+    result = run_once(benchmark, table8_sensitivity.run, scale=SCALE,
+                      n_trials=4)
+    show(result)
+
+    for dataset in ("imdb", "arxiv", "cocktail", "humaneval"):
+        acc = result.accuracy_increase[dataset]
+        jct = result.jct_increase[dataset]
+        # Finer partitions buy accuracy and cost JCT, monotonically.
+        assert acc[32] > acc[64] > 0, dataset
+        assert jct[32] > jct[64] >= 0, dataset
+
+    # The JCT penalty is largest on the longest dataset (paper: 28% on
+    # Cocktail) and clearly positive there.
+    assert result.jct_increase["cocktail"][32] == max(
+        result.jct_increase[d][32] for d in result.jct_increase
+    )
+    assert result.jct_increase["cocktail"][32] > 0.05

@@ -1,0 +1,36 @@
+"""Reproduction of HACK (SIGCOMM 2025): homomorphic KV-cache quantization
+for disaggregated LLM inference.
+
+Subpackages
+-----------
+core
+    The paper's contribution: partitioned asymmetric stochastic
+    quantization, the Eq. 4 homomorphic matmul, HACK attention and the
+    quantized KV cache with the SE/RQE optimizations.
+quant
+    Comparator compressors: CacheGen-like, KVQuant-like, FP4/6/8.
+model
+    Model-spec registry and a runnable numpy transformer.
+cluster
+    GPU/instance specs, parallelism configs, network and memory models.
+perfmodel
+    Analytic roofline performance model for prefill/decode/(de)quant.
+sim
+    Discrete-event simulator of the disaggregated serving cluster.
+workload
+    Dataset length models and trace generation.
+methods
+    End-to-end method descriptors (baseline, CacheGen, KVQuant, HACK…).
+accuracy
+    ROUGE-1, edit similarity, and the quantization-accuracy harness.
+analysis
+    Table/figure rendering helpers.
+experiments
+    One module per table/figure in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

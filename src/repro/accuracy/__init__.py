@@ -1,0 +1,55 @@
+"""Accuracy substrate: metrics, KV distributions, error harness, anchoring."""
+
+from .anchor import (
+    PAPER_BASELINE_ACCURACY,
+    TABLE6_CELLS,
+    accuracy_from_error,
+    accuracy_table,
+    calibrate_kappa,
+    dataset_sensitivity,
+)
+from .edit_sim import edit_similarity, levenshtein
+from .generation import GenerationAgreement, cache_factories, generation_agreement
+from .harness import (
+    ACCURACY_METHODS,
+    attention_error,
+    decode_path_error,
+    measure_errors,
+    rqe_extra_error,
+)
+from .kv_distributions import (
+    K_DISTRIBUTION,
+    KVDistribution,
+    Q_DISTRIBUTION,
+    V_DISTRIBUTION,
+    synthetic_attention_inputs,
+    synthetic_plane,
+)
+from .rouge import RougeScore, rouge1
+
+__all__ = [
+    "rouge1",
+    "RougeScore",
+    "levenshtein",
+    "edit_similarity",
+    "KVDistribution",
+    "K_DISTRIBUTION",
+    "V_DISTRIBUTION",
+    "Q_DISTRIBUTION",
+    "synthetic_plane",
+    "synthetic_attention_inputs",
+    "ACCURACY_METHODS",
+    "attention_error",
+    "measure_errors",
+    "decode_path_error",
+    "rqe_extra_error",
+    "PAPER_BASELINE_ACCURACY",
+    "TABLE6_CELLS",
+    "dataset_sensitivity",
+    "calibrate_kappa",
+    "accuracy_from_error",
+    "accuracy_table",
+    "GenerationAgreement",
+    "cache_factories",
+    "generation_agreement",
+]

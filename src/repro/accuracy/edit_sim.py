@@ -1,0 +1,38 @@
+"""Edit similarity (normalized Levenshtein), the HumanEval metric.
+
+``edit_similarity(a, b) = 1 - levenshtein(a, b) / max(len(a), len(b))``
+— the convention the paper cites for code-completion quality.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+__all__ = ["levenshtein", "edit_similarity"]
+
+
+def levenshtein(a: Sequence[Hashable], b: Sequence[Hashable]) -> int:
+    """Minimum number of insertions/deletions/substitutions a → b."""
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i]
+        for j, item_b in enumerate(b, start=1):
+            cost = 0 if item_a == item_b else 1
+            current.append(min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost,  # substitution
+            ))
+        previous = current
+    return previous[-1]
+
+
+def edit_similarity(a: Sequence[Hashable], b: Sequence[Hashable]) -> float:
+    """Normalized similarity in [0, 1]; identical sequences score 1."""
+    if not a and not b:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / max(len(a), len(b))

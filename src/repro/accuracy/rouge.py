@@ -1,0 +1,44 @@
+"""ROUGE-1 (unigram overlap), the paper's arXiv-summarization metric.
+
+Implements the standard clipped-unigram-count formulation of Lin (2004):
+precision and recall over unigram multiset intersection, combined into
+an F1.  Operates on token sequences (strings or integers alike).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+__all__ = ["RougeScore", "rouge1"]
+
+
+@dataclass(frozen=True)
+class RougeScore:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def rouge1(candidate: Sequence[Hashable], reference: Sequence[Hashable]) -> RougeScore:
+    """ROUGE-1 of ``candidate`` against ``reference``.
+
+    Both sequences may be empty; an empty pair scores 1.0 (nothing to
+    miss), while one empty side scores 0.0.
+    """
+    cand_counts = Counter(candidate)
+    ref_counts = Counter(reference)
+    if not cand_counts and not ref_counts:
+        return RougeScore(1.0, 1.0, 1.0)
+    if not cand_counts or not ref_counts:
+        return RougeScore(0.0, 0.0, 0.0)
+    overlap = sum((cand_counts & ref_counts).values())
+    precision = overlap / sum(cand_counts.values())
+    recall = overlap / sum(ref_counts.values())
+    if precision + recall == 0:
+        return RougeScore(0.0, 0.0, 0.0)
+    f1 = 2 * precision * recall / (precision + recall)
+    return RougeScore(precision, recall, f1)

@@ -1,0 +1,5 @@
+"""Reporting helpers: ASCII/markdown tables and figure series."""
+
+from .tables import SeriesFigure, Table, format_value
+
+__all__ = ["Table", "SeriesFigure", "format_value"]

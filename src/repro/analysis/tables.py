@@ -1,0 +1,95 @@
+"""Plain-text rendering for reproduced tables and figure series.
+
+Benchmarks and the CLI print every artifact as an aligned ASCII table
+(the terminal stand-in for the paper's plots); ``to_markdown`` emits
+the same content for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "SeriesFigure", "format_value"]
+
+
+def format_value(value) -> str:
+    """Human-friendly cell formatting."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled grid of rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        cells = [[format_value(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+
+        def line(parts):
+            return "  ".join(p.ljust(w) for p, w in zip(parts, widths)).rstrip()
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        body = [line(row) for row in cells]
+        return "\n".join([self.title, rule, line(self.headers), rule, *body,
+                          rule])
+
+    def to_markdown(self) -> str:
+        head = "| " + " | ".join(self.headers) + " |"
+        sep = "|" + "|".join("---" for _ in self.headers) + "|"
+        body = [
+            "| " + " | ".join(format_value(c) for c in row) + " |"
+            for row in self.rows
+        ]
+        return "\n".join([f"**{self.title}**", "", head, sep, *body])
+
+
+@dataclass
+class SeriesFigure:
+    """A figure as named series over shared x values."""
+
+    title: str
+    x_label: str
+    x_values: list
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def add_series(self, name: str, values: list[float]) -> None:
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected "
+                f"{len(self.x_values)}"
+            )
+        self.series[name] = list(values)
+
+    def as_table(self) -> Table:
+        table = Table(self.title, [self.x_label, *self.series.keys()])
+        for i, x in enumerate(self.x_values):
+            table.add_row(x, *(vals[i] for vals in self.series.values()))
+        return table
+
+    def render(self) -> str:
+        return self.as_table().render()
+
+    def to_markdown(self) -> str:
+        return self.as_table().to_markdown()

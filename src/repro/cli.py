@@ -1,0 +1,88 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig9 [--scale 0.5]
+    python -m repro.cli all --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import (
+    fig1_motivation,
+    fig2_4_quant_overhead,
+    fig9_12_jct,
+    fig13_ablation,
+    fig14_scalability,
+    sec3_fp_formats,
+    table5_memory,
+    table6_accuracy,
+    table8_sensitivity,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: name → (description, runner taking scale and returning a renderable).
+EXPERIMENTS = {
+    "fig1": ("motivation: baseline bottleneck ratios",
+             lambda s: fig1_motivation.run(scale=s)),
+    "fig2-4": ("CacheGen/KVQuant overhead ratios",
+               lambda s: fig2_4_quant_overhead.run(scale=s)),
+    "sec3": ("FP4/6/8 low-precision study",
+             lambda s: sec3_fp_formats.run(scale=s)),
+    "fig9": ("average JCT by dataset (+ fig10 decomposition)",
+             lambda s: fig9_12_jct.run_fig9_fig10(scale=s)),
+    "fig11": ("average JCT by model",
+              lambda s: fig9_12_jct.run_fig11(scale=s)),
+    "fig12": ("average JCT by prefill instance",
+              lambda s: fig9_12_jct.run_fig12(scale=s)),
+    "table5": ("peak decode memory usage (+ §7.4 overheads)",
+               lambda s: table5_memory.run(scale=s)),
+    "table6": ("accuracy across methods/models/datasets",
+               lambda s: table6_accuracy.run()),
+    "fig13": ("SE/RQE ablation JCT",
+              lambda s: fig13_ablation.run_fig13(scale=s)),
+    "table7": ("HACK/RQE accuracy drop",
+               lambda s: fig13_ablation.run_table7()),
+    "table8": ("partition-size sensitivity",
+               lambda s: table8_sensitivity.run(scale=s)),
+    "fig14": ("scalability vs prefill:decode ratio",
+              lambda s: fig14_scalability.run(scale=s)),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hack-repro",
+        description="Reproduce the HACK paper's tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        choices=[*EXPERIMENTS, "all", "list"],
+                        help="artifact to regenerate")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="trace-size multiplier (smaller = faster)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:8s} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"== {name}: {description} ==")
+        start = time.time()
+        result = runner(args.scale)
+        print(result.render())
+        print(f"[{name} took {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

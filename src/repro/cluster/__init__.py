@@ -1,0 +1,41 @@
+"""Cluster substrate: GPUs, instances, parallelism, network, memory."""
+
+from .gpu import GPUS, GPUSpec, get_gpu
+from .instances import (
+    DECODE_INSTANCE,
+    DEFAULT_DECODE_COUNT,
+    DEFAULT_PREFILL_FLEETS,
+    INSTANCES,
+    InstanceSpec,
+    get_instance,
+    instance_for_gpu,
+)
+from .memory import MemoryBreakdown, MemoryModel
+from .network import NetworkModel, TransferResult
+from .parallelism import (
+    ParallelismConfig,
+    ReplicaResources,
+    get_parallelism,
+    replica_resources,
+)
+
+__all__ = [
+    "GPUSpec",
+    "GPUS",
+    "get_gpu",
+    "InstanceSpec",
+    "INSTANCES",
+    "get_instance",
+    "instance_for_gpu",
+    "DEFAULT_PREFILL_FLEETS",
+    "DECODE_INSTANCE",
+    "DEFAULT_DECODE_COUNT",
+    "NetworkModel",
+    "TransferResult",
+    "MemoryModel",
+    "MemoryBreakdown",
+    "ParallelismConfig",
+    "ReplicaResources",
+    "get_parallelism",
+    "replica_resources",
+]

@@ -1,0 +1,85 @@
+"""AWS GPU instance catalogue (paper Table 2).
+
+The experiments pick prefill fleets from the four cheap-GPU instance
+types and run decode on ``p4de.24xlarge`` (8×A100, 400 Gbps).  The
+instance's network bandwidth is the quantity the KV-transfer bottleneck
+analysis revolves around: 10–50 Gbps for the cheap instances versus
+400 Gbps for the A100 boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .gpu import GPUS, GPUSpec
+
+__all__ = ["InstanceSpec", "INSTANCES", "get_instance", "instance_for_gpu",
+           "DEFAULT_PREFILL_FLEETS", "DECODE_INSTANCE"]
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One cloud instance type."""
+
+    name: str
+    gpu: GPUSpec
+    n_gpus: int
+    network_gbps: float
+    vcpus: int
+    ram_gib: int
+
+    @property
+    def total_gpu_mem_gb(self) -> float:
+        return self.gpu.mem_gb * self.n_gpus
+
+    def network_bytes_per_s(self, efficiency: float = 1.0) -> float:
+        """Achievable NIC goodput in bytes/second."""
+        return self.network_gbps / 8.0 * 1e9 * efficiency
+
+
+#: Table 2 verbatim.
+INSTANCES: dict[str, InstanceSpec] = {
+    "g5.12xlarge": InstanceSpec("g5.12xlarge", GPUS["A10G"], 4, 40.0, 48, 192),
+    "p3.8xlarge": InstanceSpec("p3.8xlarge", GPUS["V100"], 4, 10.0, 32, 244),
+    "g4dn.12xlarge": InstanceSpec("g4dn.12xlarge", GPUS["T4"], 4, 50.0, 48, 192),
+    "g6.12xlarge": InstanceSpec("g6.12xlarge", GPUS["L4"], 4, 40.0, 48, 192),
+    "p4de.24xlarge": InstanceSpec("p4de.24xlarge", GPUS["A100"], 8, 400.0, 96, 1152),
+}
+
+#: GPU name → the instance type that carries it in the paper.
+_GPU_TO_INSTANCE = {
+    "A10G": "g5.12xlarge",
+    "V100": "p3.8xlarge",
+    "T4": "g4dn.12xlarge",
+    "L4": "g6.12xlarge",
+    "A100": "p4de.24xlarge",
+}
+
+#: Fleet sizes from §7.1: "ten g5.12xlarge, sixteen p3.8xlarge, sixteen
+#: g4dn.12xlarge, ten g6.12xlarge, or two p4de.24xlarge for prefill".
+DEFAULT_PREFILL_FLEETS: dict[str, int] = {
+    "A10G": 10,
+    "V100": 16,
+    "T4": 16,
+    "L4": 10,
+    "A100": 2,
+}
+
+#: Decode always runs on "two p4de.24xlarge" (§7.1).
+DECODE_INSTANCE = "p4de.24xlarge"
+DEFAULT_DECODE_COUNT = 2
+
+
+def get_instance(name: str) -> InstanceSpec:
+    """Look up an instance type by its AWS name."""
+    if name not in INSTANCES:
+        raise KeyError(f"unknown instance {name!r}; choose from {sorted(INSTANCES)}")
+    return INSTANCES[name]
+
+
+def instance_for_gpu(gpu_name: str) -> InstanceSpec:
+    """The instance type the paper uses for a given GPU."""
+    key = gpu_name.upper()
+    if key not in _GPU_TO_INSTANCE:
+        raise KeyError(f"no instance mapped for GPU {gpu_name!r}")
+    return INSTANCES[_GPU_TO_INSTANCE[key]]

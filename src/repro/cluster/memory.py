@@ -1,0 +1,114 @@
+"""Decode-instance GPU memory model (paper Table 5, §7.4).
+
+Peak decode memory is parameters + cached KV + activations.  The KV
+term depends on the compression method: FP16 for the baseline, ~14–15%
+of FP16 for the 2-bit schemes, plus HACK's two small extras — the SE
+sum store and the RQE FP16 tail buffer (§7.4 quotes 2.2–2.7% and
+0.24–0.51% of GPU memory respectively).
+
+The same model drives the simulator's admission control: a decode
+replica only accepts a request if its projected peak footprint fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model.config import ModelSpec
+
+__all__ = ["MemoryModel", "MemoryBreakdown"]
+
+_FP16_BYTES = 2.0
+_GB = 1e9
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Peak decode memory decomposition, in bytes."""
+
+    params: float
+    kv: float
+    sums: float
+    fp16_tail: float
+    activations: float
+
+    @property
+    def total(self) -> float:
+        return self.params + self.kv + self.sums + self.fp16_tail + self.activations
+
+    def fraction_of(self, capacity_bytes: float) -> float:
+        """Peak usage as a fraction of ``capacity_bytes``."""
+        return self.total / capacity_bytes
+
+
+class MemoryModel:
+    """Computes decode-replica memory footprints for one model.
+
+    Parameters
+    ----------
+    spec:
+        Model architecture.
+    kv_bytes_per_value:
+        Effective bytes per stored KV scalar: 2.0 for FP16, ~0.29 for
+        2-bit-plus-metadata (codes + min/scale at Π=64).
+    sum_overhead:
+        SE sum bytes as a fraction of the quantized KV bytes (≈5%, §6).
+    fp16_tail_tokens:
+        Tokens of V kept in FP16 per (layer, kv-head) under RQE — at
+        most Π-1, Π/2 in expectation.
+    activation_overhead:
+        Activation/workspace reservation as a fraction of parameter
+        bytes (serving engines preallocate buffers alongside weights).
+    """
+
+    def __init__(self, spec: ModelSpec, kv_bytes_per_value: float = _FP16_BYTES,
+                 sum_overhead: float = 0.0, fp16_tail_tokens: float = 0.0,
+                 activation_overhead: float = 0.45) -> None:
+        if kv_bytes_per_value <= 0:
+            raise ValueError("kv_bytes_per_value must be positive")
+        if not 0 <= sum_overhead < 1:
+            raise ValueError("sum_overhead must be in [0, 1)")
+        self.spec = spec
+        self.kv_bytes_per_value = kv_bytes_per_value
+        self.sum_overhead = sum_overhead
+        self.fp16_tail_tokens = fp16_tail_tokens
+        self.activation_overhead = activation_overhead
+
+    def kv_bytes_per_token(self) -> float:
+        """Stored KV bytes one token adds across all layers."""
+        return self.spec.kv_bytes_per_token(self.kv_bytes_per_value)
+
+    def request_kv_bytes(self, seq_len: int) -> float:
+        """KV bytes a request with ``seq_len`` cached tokens occupies."""
+        return seq_len * self.kv_bytes_per_token()
+
+    def breakdown(self, n_requests: int, avg_seq_len: float,
+                  tp: int = 1, pp: int = 1) -> MemoryBreakdown:
+        """Peak footprint of a decode replica shard group.
+
+        ``n_requests`` concurrent requests of ``avg_seq_len`` cached
+        tokens each; parameters are sharded across the whole replica
+        (tp·pp GPUs) but KV for all in-flight requests lives on it.
+        """
+        spec = self.spec
+        params = spec.param_bytes()
+        kv = n_requests * self.request_kv_bytes(avg_seq_len)
+        sums = kv * self.sum_overhead
+        tail = (
+            n_requests * 2 * self.fp16_tail_tokens
+            * spec.n_layers * spec.n_kv_heads * spec.head_dim * _FP16_BYTES
+        ) / 2.0  # only V has a tail buffer; /2 removes the K half
+        activations = self.activation_overhead * params
+        return MemoryBreakdown(params=params, kv=kv, sums=sums,
+                               fp16_tail=tail, activations=activations)
+
+    def max_concurrent_requests(self, capacity_gb: float, avg_seq_len: float,
+                                reserve_fraction: float = 0.05) -> int:
+        """Requests that fit a replica of ``capacity_gb`` device memory."""
+        capacity = capacity_gb * _GB * (1.0 - reserve_fraction)
+        base = self.breakdown(0, avg_seq_len)
+        free = capacity - base.total
+        per_request = self.breakdown(1, avg_seq_len).total - base.total
+        if per_request <= 0:
+            raise ValueError("per-request footprint must be positive")
+        return max(0, int(free / per_request))

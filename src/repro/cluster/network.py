@@ -1,0 +1,95 @@
+"""Network transfer model for the prefill → decode KV handoff (§6).
+
+The paper ships KV over NCCL between instances; we model a transfer as
+fixed setup latency plus bytes over the bottleneck goodput — the
+minimum of the sender's and receiver's NIC shares, derated by a
+protocol-efficiency factor.  The CPU-swap detour (§5.1 step 6: when no
+decode instance has memory, KV is staged in prefill CPU memory first)
+adds a PCIe store-and-forward leg.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "TransferResult"]
+
+_DEFAULT_EFFICIENCY = 0.8
+_DEFAULT_LATENCY_S = 0.002
+_PCIE_BYTES_PER_S = 24e9  # ~PCIe 4.0 x16 effective
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one modelled transfer."""
+
+    seconds: float
+    bytes_moved: int
+    via_cpu: bool
+
+
+class NetworkModel:
+    """Point-to-point transfer timing between instances.
+
+    Parameters
+    ----------
+    efficiency:
+        Fraction of nominal NIC bandwidth achievable as goodput.
+    latency_s:
+        Per-transfer setup latency (connection + NCCL ring setup).
+    pcie_bytes_per_s:
+        Host staging bandwidth used by the CPU-swap path.
+    """
+
+    def __init__(self, efficiency: float = _DEFAULT_EFFICIENCY,
+                 latency_s: float = _DEFAULT_LATENCY_S,
+                 pcie_bytes_per_s: float = _PCIE_BYTES_PER_S) -> None:
+        if not 0 < efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        if latency_s < 0:
+            raise ValueError(f"latency must be non-negative, got {latency_s}")
+        self.efficiency = efficiency
+        self.latency_s = latency_s
+        self.pcie_bytes_per_s = pcie_bytes_per_s
+
+    def goodput(self, sender_gbps: float, receiver_gbps: float) -> float:
+        """Achievable bytes/second between two NIC shares."""
+        bottleneck_gbps = min(sender_gbps, receiver_gbps)
+        if bottleneck_gbps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        return bottleneck_gbps / 8.0 * 1e9 * self.efficiency
+
+    def transfer_time(self, nbytes: float, sender_gbps: float,
+                      receiver_gbps: float, via_cpu: bool = False) -> TransferResult:
+        """Seconds to move ``nbytes`` from sender to receiver.
+
+        ``via_cpu`` models the §5.1 swap path: the payload first crosses
+        PCIe into host memory and later crosses it back, serialized with
+        the network leg (store-and-forward, the pipelining-infeasible
+        case of §2.1).
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        seconds = self.latency_s + nbytes / self.goodput(sender_gbps,
+                                                         receiver_gbps)
+        if via_cpu:
+            seconds += 2.0 * nbytes / self.pcie_bytes_per_s
+        return TransferResult(seconds=seconds, bytes_moved=int(nbytes),
+                              via_cpu=via_cpu)
+
+    def pipelined_exposed_time(self, nbytes: float, sender_gbps: float,
+                               receiver_gbps: float, compute_s: float,
+                               n_stages: int) -> float:
+        """Transfer time left *exposed* when overlapped with compute (§2.1).
+
+        Layer-wise pipelining overlaps the transfer of finished layers
+        with the computation of remaining ones: with ``n_stages`` layers,
+        only the final layer's transfer plus whatever exceeds the
+        remaining compute is exposed.
+        """
+        if n_stages < 1:
+            raise ValueError(f"n_stages must be >= 1, got {n_stages}")
+        total = self.transfer_time(nbytes, sender_gbps, receiver_gbps).seconds
+        tail = total / n_stages
+        overlappable = compute_s * (1.0 - 1.0 / n_stages)
+        return max(tail, total - overlappable)

@@ -1,0 +1,109 @@
+"""Tensor/pipeline parallelism registry (paper Table 3).
+
+Each (model, GPU) pair maps to the TP and PP degrees the paper uses so
+replicas have enough aggregate memory.  A model *replica* occupies
+``tp * pp`` GPUs, possibly spanning multiple instances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..model.config import ModelSpec, get_model
+from .instances import InstanceSpec, instance_for_gpu
+
+__all__ = ["ParallelismConfig", "get_parallelism", "replica_resources",
+           "ReplicaResources"]
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """Tensor-parallel and pipeline-parallel degrees for one replica."""
+
+    tp: int
+    pp: int
+
+    @property
+    def n_gpus(self) -> int:
+        return self.tp * self.pp
+
+    def __post_init__(self) -> None:
+        if self.tp < 1 or self.pp < 1:
+            raise ValueError(f"degrees must be >= 1, got tp={self.tp} pp={self.pp}")
+
+
+#: Table 3 verbatim.  Columns collapse identical entries: (A10G, L4)
+#: share a config, as do (V100, T4).
+_TABLE3: dict[tuple[str, str], ParallelismConfig] = {}
+
+
+def _fill(letter: str, a10g_l4, v100_t4, a100) -> None:
+    for gpu, cfg in (("A10G", a10g_l4), ("L4", a10g_l4),
+                     ("V100", v100_t4), ("T4", v100_t4), ("A100", a100)):
+        _TABLE3[(letter, gpu)] = ParallelismConfig(*cfg)
+
+
+_fill("M", (4, 1), (4, 1), (1, 1))
+_fill("P", (2, 2), (2, 2), (1, 1))
+_fill("Y", (4, 2), (4, 2), (4, 1))
+_fill("L", (4, 2), (4, 4), (4, 1))
+_fill("F", (4, 5), (4, 8), (4, 2))
+
+
+def get_parallelism(model: str | ModelSpec, gpu_name: str) -> ParallelismConfig:
+    """TP/PP degrees for running ``model`` on ``gpu_name`` (Table 3)."""
+    spec = model if isinstance(model, ModelSpec) else get_model(model)
+    key = (spec.letter, gpu_name.upper())
+    if key not in _TABLE3:
+        raise KeyError(f"no Table 3 entry for model {spec.letter!r} on "
+                       f"{gpu_name!r}")
+    return _TABLE3[key]
+
+
+@dataclass(frozen=True)
+class ReplicaResources:
+    """Aggregate capability of one model replica."""
+
+    parallelism: ParallelismConfig
+    instance: InstanceSpec
+    n_instances: int
+    fp16_tflops: float       # aggregate FP16 tensor compute
+    int8_tops: float         # aggregate INT8 tensor compute (0 on V100)
+    mem_gb: float            # aggregate device memory
+    mem_bw_gbps: float       # aggregate device memory bandwidth
+    network_gbps: float      # NIC bandwidth available to this replica
+
+    @property
+    def supports_int8(self) -> bool:
+        return self.int8_tops > 0
+
+
+def replica_resources(model: str | ModelSpec, gpu_name: str) -> ReplicaResources:
+    """Resources of one replica of ``model`` on the paper's instance for
+    ``gpu_name``.
+
+    The replica's KV-transfer bandwidth is *funneled through a single
+    instance's NIC*: NCCL point-to-point sends originate from one rank,
+    so a replica spanning several instances still moves its KV at one
+    NIC's rate.  A replica occupying a fraction of an instance gets a
+    proportional NIC share (the §7.6 convention: half a p4de replica
+    gets 200 Gbps).
+    """
+    spec = model if isinstance(model, ModelSpec) else get_model(model)
+    cfg = get_parallelism(spec, gpu_name)
+    inst = instance_for_gpu(gpu_name)
+    n_gpus = cfg.n_gpus
+    n_instances = max(1, math.ceil(n_gpus / inst.n_gpus))
+    network = inst.network_gbps * min(1.0, n_gpus / inst.n_gpus)
+    gpu = inst.gpu
+    return ReplicaResources(
+        parallelism=cfg,
+        instance=inst,
+        n_instances=n_instances,
+        fp16_tflops=gpu.fp16_tflops * n_gpus,
+        int8_tops=gpu.int8_tops * n_gpus,
+        mem_gb=gpu.mem_gb * n_gpus,
+        mem_bw_gbps=gpu.mem_bw_gbps * n_gpus,
+        network_gbps=network,
+    )

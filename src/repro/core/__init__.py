@@ -1,0 +1,75 @@
+"""HACK's core: homomorphic quantization for attention (paper §5).
+
+Public surface:
+
+* quantization — :func:`quantize`, :func:`dequantize`,
+  :class:`QuantizedTensor`, :func:`partition_bounds`
+* homomorphic matmul (Eq. 4) — :func:`homomorphic_matmul`,
+  :func:`homomorphic_matmul_blocked`, :func:`integer_matmul`,
+  :func:`transpose`
+* attention — :class:`HackConfig`, :func:`attention_reference`,
+  :func:`attention_hack`, :func:`attention_dequantize`,
+  :func:`flash_attention`, :func:`flash_attention_hack`
+* KV caches — :class:`Fp16KVCache`, :class:`DequantizingKVCache`,
+  :class:`HackKVCache`, :class:`CacheLedger`
+* cost formulas — :mod:`repro.core.costs`
+"""
+
+from .attention import (
+    HackConfig,
+    attention_dequantize,
+    attention_hack,
+    attention_reference,
+    causal_mask,
+    softmax,
+)
+from .flash import flash_attention, flash_attention_hack
+from .homomorphic import (
+    homomorphic_matmul,
+    homomorphic_matmul_blocked,
+    integer_matmul,
+    transpose,
+)
+from .eviction import EvictingKVCache, HeavyHitterTracker
+from .kv_cache import CacheLedger, DequantizingKVCache, Fp16KVCache, HackKVCache
+from .packing import pack_codes, packed_nbytes, unpack_codes
+from .quantize import (
+    QuantizedTensor,
+    dequantize,
+    partition_bounds,
+    quantize,
+    sum_storage_bits,
+)
+from .rounding import make_rng, nearest_round, stochastic_round
+
+__all__ = [
+    "HackConfig",
+    "QuantizedTensor",
+    "CacheLedger",
+    "Fp16KVCache",
+    "DequantizingKVCache",
+    "HackKVCache",
+    "EvictingKVCache",
+    "HeavyHitterTracker",
+    "attention_reference",
+    "attention_hack",
+    "attention_dequantize",
+    "causal_mask",
+    "softmax",
+    "flash_attention",
+    "flash_attention_hack",
+    "homomorphic_matmul",
+    "homomorphic_matmul_blocked",
+    "integer_matmul",
+    "transpose",
+    "quantize",
+    "dequantize",
+    "partition_bounds",
+    "sum_storage_bits",
+    "pack_codes",
+    "unpack_codes",
+    "packed_nbytes",
+    "make_rng",
+    "stochastic_round",
+    "nearest_round",
+]

@@ -1,0 +1,176 @@
+"""Self-attention with and without homomorphic quantization (§5.1, §5.3).
+
+The HACK dataflow for one attention head (Fig. 5):
+
+1. quantize ``Q`` to INT8 (it is discarded after use, so precision is
+   cheap) and ``K`` to INT2, both partitioned along the head dimension,
+2. compute the attention scores ``S = Q·Kᵀ / sqrt(d_h)`` with the
+   homomorphic matmul — no dequantization,
+3. softmax ``S`` into the attention probabilities ``P`` in floating
+   point,
+4. quantize ``P`` to INT8 and ``V`` to INT2, both partitioned along the
+   *sequence* dimension,
+5. compute ``O = P·V`` homomorphically.
+
+This module implements that path for a single head on 2-D matrices; the
+multi-head / GQA wrapper lives in :mod:`repro.model.transformer`, and
+the decode-time incremental path lives in :mod:`repro.core.kv_cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .homomorphic import homomorphic_matmul, transpose
+from .quantize import quantize
+
+__all__ = [
+    "HackConfig",
+    "softmax",
+    "causal_mask",
+    "attention_reference",
+    "attention_hack",
+    "attention_dequantize",
+]
+
+_NEG_INF = np.float64(-1e30)
+
+
+@dataclass(frozen=True)
+class HackConfig:
+    """Quantization configuration for HACK attention.
+
+    Defaults follow the paper's evaluation settings: Π=64 partitions,
+    2-bit K/V, 8-bit Q and P, stochastic rounding (§7).
+    """
+
+    partition_size: int = 64
+    kv_bits: int = 2
+    q_bits: int = 8
+    p_bits: int = 8
+    rounding: str = "stochastic"
+    use_se: bool = True
+
+    def __post_init__(self) -> None:
+        if self.partition_size <= 0:
+            raise ValueError(f"partition_size must be positive, got {self.partition_size}")
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax (Eq. 3)."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def causal_mask(l_q: int, l_kv: int) -> np.ndarray:
+    """Boolean mask, True where query ``i`` may attend to key ``j``.
+
+    Queries are aligned to the *end* of the key sequence, the standard
+    convention for incremental decoding: query ``i`` (0-based) attends
+    to keys ``j <= i + (l_kv - l_q)``.
+    """
+    if l_kv < l_q:
+        raise ValueError(f"l_kv ({l_kv}) must be >= l_q ({l_q}) for a causal mask")
+    offset = l_kv - l_q
+    rows = np.arange(l_q)[:, None]
+    cols = np.arange(l_kv)[None, :]
+    return cols <= rows + offset
+
+
+def attention_reference(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    causal: bool = True,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Exact FP attention for one head: ``softmax(Q·Kᵀ/√d)·V``.
+
+    Shapes: ``q`` is ``(L_q, d)``, ``k`` and ``v`` are ``(L_kv, d)``;
+    the output is ``(L_q, d)``.
+    """
+    q, k, v = (np.asarray(a, dtype=np.float64) for a in (q, k, v))
+    d = q.shape[1]
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    scores = (q @ k.T) * scale
+    if causal:
+        scores = np.where(causal_mask(q.shape[0], k.shape[0]), scores, _NEG_INF)
+    probs = softmax(scores, axis=-1)
+    return probs @ v
+
+
+def attention_hack(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    config: HackConfig | None = None,
+    rng: np.random.Generator | None = None,
+    causal: bool = True,
+    scale: float | None = None,
+) -> np.ndarray:
+    """HACK attention: both matmuls evaluated on quantized operands.
+
+    Follows steps 1–5 of the module docstring.  The result approximates
+    :func:`attention_reference` with error bounded by the quantization
+    error of the four quantized operands — the homomorphic evaluation
+    itself introduces none (see :mod:`repro.core.homomorphic`).
+    """
+    config = config or HackConfig()
+    q, k, v = (np.asarray(a, dtype=np.float64) for a in (q, k, v))
+    d = q.shape[1]
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    pi = config.partition_size
+
+    # Step 1-2: S = Q'·K'ᵀ via Eq. 4, partitioned along the head dim.
+    q_q = quantize(q, config.q_bits, axis=1, partition_size=pi,
+                   rng=rng, rounding=config.rounding)
+    k_q = quantize(k, config.kv_bits, axis=1, partition_size=pi,
+                   rng=rng, rounding=config.rounding)
+    scores = homomorphic_matmul(q_q, transpose(k_q), config.use_se) * scale
+
+    # Step 3: softmax in floating point.
+    if causal:
+        scores = np.where(causal_mask(q.shape[0], k.shape[0]), scores, _NEG_INF)
+    probs = softmax(scores, axis=-1)
+
+    # Step 4-5: O = P'·V' via Eq. 4, partitioned along the sequence dim.
+    p_q = quantize(probs, config.p_bits, axis=1, partition_size=pi,
+                   rng=rng, rounding=config.rounding)
+    v_q = quantize(v, config.kv_bits, axis=0, partition_size=pi,
+                   rng=rng, rounding=config.rounding)
+    return homomorphic_matmul(p_q, v_q, config.use_se)
+
+
+def attention_dequantize(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    config: HackConfig | None = None,
+    rng: np.random.Generator | None = None,
+    causal: bool = True,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Comparator path: quantize K/V, then dequantize before attention.
+
+    This is what CacheGen/KVQuant-style systems do — K and V suffer the
+    same quantization error as HACK, but the matmuls run on the
+    dequantized FP matrices (paying dequantization cost and gaining no
+    integer speedup).  Q and P stay in full precision.  Used to isolate
+    the extra error contributed by HACK's Q/P quantization.
+    """
+    config = config or HackConfig()
+    from .quantize import dequantize  # local import avoids cycle at module load
+
+    k_q = quantize(np.asarray(k, dtype=np.float64), config.kv_bits, axis=1,
+                   partition_size=config.partition_size, rng=rng,
+                   rounding=config.rounding)
+    v_q = quantize(np.asarray(v, dtype=np.float64), config.kv_bits, axis=0,
+                   partition_size=config.partition_size, rng=rng,
+                   rounding=config.rounding)
+    return attention_reference(q, dequantize(k_q), dequantize(v_q),
+                               causal=causal, scale=scale)

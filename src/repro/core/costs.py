@@ -1,0 +1,96 @@
+"""Operation-count formulas from the paper (§5.2–§5.3).
+
+The paper reasons about HACK's overheads through exact flop counts:
+
+* integer matmul            — ``2·M·Z·N``
+* Eq. 4 correction terms    — ``9·M·N + M·Z + N·Z``
+* with SE (cached B sums)   — ``9·M·N + M·Z``     (the ``N·Z`` vanishes)
+* per-element dequantize    — ``s·x' + m`` = 2 flops
+* per-decode-iteration KV dequantization (comparators)
+                            — ``4·d_h·L``  (K and V, 2 flops each)
+* per-decode-iteration HACK approximation with SE
+                            — ``10·(d_h + L)``
+
+These same formulas drive the analytic performance model, so the
+simulated timings inherit the paper's own cost accounting.  Every
+function returns plain flop counts; conversion to seconds happens in
+:mod:`repro.perfmodel`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "matmul_flops",
+    "approximation_flops",
+    "dequantize_flops",
+    "quantize_flops",
+    "kv_dequant_flops_per_iter",
+    "hack_approx_flops_per_iter",
+    "attention_flops",
+]
+
+
+def matmul_flops(m: int, z: int, n: int) -> int:
+    """Flops of a dense ``(M,Z) @ (Z,N)`` matmul (multiply + add)."""
+    return 2 * m * z * n
+
+
+def approximation_flops(m: int, z: int, n: int, summation_eliminated: bool = True) -> int:
+    """Flops of the Eq. 4 correction terms (§5.2).
+
+    Breakdown from the paper: ``2MN`` for the scale product, ``MN + MZ``
+    for the A-row-sum term, ``MN + NZ`` for the B-column-sum term,
+    ``2MN`` for the constant term, and ``3MN`` for the final additions —
+    ``9MN + MZ + NZ`` in total.  SE (§5.3) caches the B column sums and
+    removes the ``NZ`` contribution.
+    """
+    cost = 9 * m * n + m * z
+    if not summation_eliminated:
+        cost += n * z
+    return cost
+
+
+def dequantize_flops(n_elements: int) -> int:
+    """Flops to dequantize ``n_elements`` codes (``s·x' + m`` each)."""
+    return 2 * n_elements
+
+
+def quantize_flops(n_elements: int) -> int:
+    """Flops to quantize ``n_elements`` values.
+
+    Subtract-divide-round is 3 ops per element; the per-partition
+    min/max scan adds ~2 comparisons per element, amortized.  The
+    paper reports quantization at 1.25–2.91% of JCT; this constant
+    reproduces that range under the calibrated rates.
+    """
+    return 5 * n_elements
+
+
+def kv_dequant_flops_per_iter(head_dim: int, seq_len: int) -> int:
+    """Per-head, per-iteration cost of dequantizing the whole KV (§5.3).
+
+    ``2·d_h·L`` for K plus ``2·d_h·L`` for V: the price CacheGen/KVQuant
+    pay on *every* decode iteration.
+    """
+    return 4 * head_dim * seq_len
+
+
+def hack_approx_flops_per_iter(
+    head_dim: int,
+    seq_len: int,
+    summation_eliminated: bool = True,
+) -> int:
+    """Per-head, per-iteration Eq. 4 correction cost during decode (§5.3).
+
+    With SE the two attention products cost ``(9L + d_h) + (9·d_h + L)``
+    = ``10·(d_h + L)``.  Without SE the B sums are recomputed, adding
+    ``d_h·L`` for K and ``d_h·L`` for V.
+    """
+    qk = approximation_flops(1, head_dim, seq_len, summation_eliminated)
+    pv = approximation_flops(1, seq_len, head_dim, summation_eliminated)
+    return qk + pv
+
+
+def attention_flops(l_q: int, l_kv: int, head_dim: int) -> int:
+    """Flops of one attention head: ``Q·Kᵀ`` plus ``P·V``."""
+    return matmul_flops(l_q, head_dim, l_kv) + matmul_flops(l_q, l_kv, head_dim)

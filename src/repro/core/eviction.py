@@ -1,0 +1,167 @@
+"""KV eviction composed with quantized caching (paper §9 future work).
+
+The paper notes that eviction-based compression (H2O, Scissorhands,
+Keyformer …) is *complementary* to quantization: eviction removes
+unimportant tokens' KV entirely, quantization lowers the precision of
+what remains, and the two can be combined.  This module implements that
+combination:
+
+* :class:`HeavyHitterTracker` — H2O-style cumulative-attention scoring
+  with a protected window of recent tokens;
+* :class:`EvictingKVCache` — wraps any decode cache *policy-side*: it
+  keeps the full cache but masks evicted tokens out of attention, which
+  preserves the wrapped cache's quantization behaviour exactly while
+  modelling the accuracy effect of eviction.  A budget of ``None``
+  disables eviction (pure pass-through).
+
+The extra bench in ``benchmarks/bench_ablation_extra.py`` and the tests
+in ``tests/core/test_eviction.py`` quantify the compounding: eviction
+plus 2-bit quantization reaches compression neither achieves alone, at
+a measurable but bounded accuracy cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import softmax
+
+__all__ = ["HeavyHitterTracker", "EvictingKVCache"]
+
+
+class HeavyHitterTracker:
+    """Cumulative attention mass per cached token (the H2O criterion).
+
+    Tokens that consistently receive attention are "heavy hitters" and
+    are retained; the most recent ``protected_recent`` tokens are never
+    eviction candidates (they have not had a chance to accumulate mass).
+    """
+
+    def __init__(self, protected_recent: int = 8) -> None:
+        if protected_recent < 0:
+            raise ValueError("protected_recent must be non-negative")
+        self.protected_recent = protected_recent
+        self._mass: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._mass)
+
+    def extend(self, n_tokens: int) -> None:
+        """Register ``n_tokens`` new cache entries."""
+        if n_tokens < 0:
+            raise ValueError("n_tokens must be non-negative")
+        self._mass.extend([0.0] * n_tokens)
+
+    def observe(self, probs: np.ndarray, live_idx: np.ndarray) -> None:
+        """Accumulate one attention row over the live token indices."""
+        probs = np.asarray(probs, dtype=np.float64).reshape(-1)
+        if probs.size != live_idx.size:
+            raise ValueError("probs and live_idx must align")
+        for idx, p in zip(live_idx, probs):
+            self._mass[int(idx)] += float(p)
+
+    def select_evictions(self, live_idx: np.ndarray, budget: int) -> list[int]:
+        """Indices to evict so that at most ``budget`` tokens stay live."""
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        n_live = live_idx.size
+        excess = n_live - budget
+        if excess <= 0:
+            return []
+        protected = set(live_idx[-self.protected_recent:].tolist()
+                        if self.protected_recent else [])
+        candidates = [int(i) for i in live_idx if int(i) not in protected]
+        candidates.sort(key=lambda i: self._mass[i])
+        return candidates[:excess]
+
+
+class EvictingKVCache:
+    """Budget-bounded attention over any wrapped KV cache.
+
+    Parameters
+    ----------
+    inner:
+        Any cache exposing ``append / append_bulk / attention-like
+        materialize`` (the three families of :mod:`repro.core.kv_cache`
+        plus :class:`repro.quant.roundtrip_cache.RoundtripKVCache`).
+    budget:
+        Maximum live tokens; ``None`` disables eviction.
+    protected_recent:
+        Recent-token window exempt from eviction.
+    """
+
+    def __init__(self, inner, budget: int | None = None,
+                 protected_recent: int = 8) -> None:
+        if budget is not None and budget < 1:
+            raise ValueError("budget must be >= 1 (or None)")
+        self.inner = inner
+        self.budget = budget
+        self.tracker = HeavyHitterTracker(protected_recent)
+        self._evicted: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    @property
+    def n_live(self) -> int:
+        return len(self.inner) - len(self._evicted)
+
+    @property
+    def ledger(self):
+        return self.inner.ledger
+
+    # -- cache interface -------------------------------------------------------
+
+    def append(self, k_vec: np.ndarray, v_vec: np.ndarray) -> None:
+        self.inner.append(k_vec, v_vec)
+        self.tracker.extend(1)
+        self._enforce_budget()
+
+    def append_bulk(self, k: np.ndarray, v: np.ndarray) -> None:
+        before = len(self.inner)
+        self.inner.append_bulk(k, v)
+        self.tracker.extend(len(self.inner) - before)
+        self._enforce_budget()
+
+    def attention(self, q_vec: np.ndarray) -> np.ndarray:
+        """Attention over the live (non-evicted) tokens only."""
+        k_hat, v_hat = self.inner.materialize()
+        live_idx = self._live_indices()
+        k_live = k_hat[live_idx]
+        v_live = v_hat[live_idx]
+        q = np.asarray(q_vec, dtype=np.float64)[None, :]
+        scores = (q @ k_live.T) / np.sqrt(k_live.shape[1])
+        probs = softmax(scores, axis=-1)
+        self.tracker.observe(probs[0], live_idx)
+        self.inner.ledger.decode_iterations += 1
+        return (probs @ v_live)[0]
+
+    def materialize(self):
+        """Live (K̂, V̂) after eviction."""
+        k_hat, v_hat = self.inner.materialize()
+        live_idx = self._live_indices()
+        return k_hat[live_idx], v_hat[live_idx]
+
+    # -- accounting ---------------------------------------------------------------
+
+    def live_kv_nbytes(self) -> float:
+        """Bytes attributable to live tokens (eviction's saving)."""
+        total = len(self.inner)
+        if total == 0:
+            return 0.0
+        return self.inner.kv_nbytes() * self.n_live / total
+
+    # -- internals ----------------------------------------------------------------
+
+    def _live_indices(self) -> np.ndarray:
+        return np.array(
+            [i for i in range(len(self.inner)) if i not in self._evicted],
+            dtype=np.int64,
+        )
+
+    def _enforce_budget(self) -> None:
+        if self.budget is None:
+            return
+        live_idx = self._live_indices()
+        for idx in self.tracker.select_evictions(live_idx, self.budget):
+            self._evicted.add(idx)

@@ -1,0 +1,141 @@
+"""Blocked streaming-softmax attention (FlashAttention-2 style, §6).
+
+The paper integrates HACK into FlashAttention-2: attention is evaluated
+block-by-block over the key/value sequence with an *online softmax* —
+a running row-max ``m``, normalizer ``l`` and output accumulator that
+are rescaled as each block arrives, so the full score matrix is never
+materialized.
+
+Two kernels are provided:
+
+* :func:`flash_attention` — exact FP evaluation, numerically identical
+  to :func:`repro.core.attention.attention_reference` (property-tested).
+* :func:`flash_attention_hack` — the fused HACK variant: each block's
+  scores come from the homomorphic matmul of the quantized Q and K
+  block, and each block's ``P·V`` contribution from the homomorphic
+  matmul of the (8-bit) probability block and (2-bit) V block, mirroring
+  the ``attn_prefill`` Triton kernel of §6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import HackConfig, causal_mask
+from .homomorphic import homomorphic_matmul, transpose
+from .quantize import quantize
+
+__all__ = ["flash_attention", "flash_attention_hack"]
+
+_NEG_INF = np.float64(-1e30)
+
+
+def flash_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    block_size: int = 128,
+    causal: bool = True,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Exact blocked attention with online softmax.
+
+    Shapes as in :func:`repro.core.attention.attention_reference`.
+    ``block_size`` is the key/value block length; any positive value
+    gives the same result.
+    """
+    q, k, v = (np.asarray(a, dtype=np.float64) for a in (q, k, v))
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+
+    def score_block(q_mat, k_blk):
+        return q_mat @ k_blk.T
+
+    def pv_block(p_blk, v_blk):
+        return p_blk @ v_blk
+
+    return _online_softmax_loop(q, k, v, block_size, causal, scale,
+                                score_block, pv_block)
+
+
+def flash_attention_hack(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    config: HackConfig | None = None,
+    rng: np.random.Generator | None = None,
+    block_size: int | None = None,
+    causal: bool = True,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Fused HACK kernel: blocked attention on quantized operands.
+
+    ``block_size`` defaults to ``2 * config.partition_size`` and must be
+    a multiple of the partition size so that V's sequence-dimension
+    partitions align with block boundaries (Fig. 7).
+    """
+    config = config or HackConfig()
+    pi = config.partition_size
+    if block_size is None:
+        block_size = 2 * pi
+    if block_size % pi:
+        raise ValueError(
+            f"block_size ({block_size}) must be a multiple of the "
+            f"partition size ({pi})"
+        )
+    q, k, v = (np.asarray(a, dtype=np.float64) for a in (q, k, v))
+
+    q_q = quantize(q, config.q_bits, axis=1, partition_size=pi,
+                   rng=rng, rounding=config.rounding)
+
+    def score_block(_q_mat, k_blk):
+        k_q = quantize(k_blk, config.kv_bits, axis=1, partition_size=pi,
+                       rng=rng, rounding=config.rounding)
+        return homomorphic_matmul(q_q, transpose(k_q), config.use_se)
+
+    def pv_block(p_blk, v_blk):
+        p_q = quantize(p_blk, config.p_bits, axis=1, partition_size=pi,
+                       rng=rng, rounding=config.rounding)
+        v_q = quantize(v_blk, config.kv_bits, axis=0, partition_size=pi,
+                       rng=rng, rounding=config.rounding)
+        return homomorphic_matmul(p_q, v_q, config.use_se)
+
+    return _online_softmax_loop(q, k, v, block_size, causal, scale,
+                                score_block, pv_block)
+
+
+def _online_softmax_loop(q, k, v, block_size, causal, scale,
+                         score_block, pv_block):
+    """Shared online-softmax skeleton parameterized by the two matmuls."""
+    l_q, d = q.shape
+    l_kv = k.shape[0]
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    mask = causal_mask(l_q, l_kv) if causal else None
+
+    m_run = np.full(l_q, -np.inf)
+    l_run = np.zeros(l_q)
+    acc = np.zeros((l_q, d))
+
+    for start in range(0, l_kv, block_size):
+        end = min(start + block_size, l_kv)
+        scores = score_block(q, k[start:end]) * scale
+        if mask is not None:
+            scores = np.where(mask[:, start:end], scores, _NEG_INF)
+
+        m_new = np.maximum(m_run, scores.max(axis=1))
+        # Rows that have seen no valid key yet keep m == -inf; exp(-inf
+        # - -inf) is NaN, so guard with a finite stand-in (their l stays
+        # 0 and the accumulator stays 0 regardless).
+        m_safe = np.where(np.isfinite(m_new), m_new, 0.0)
+        alpha = np.exp(np.where(np.isfinite(m_run), m_run - m_safe, -np.inf))
+        alpha = np.where(np.isfinite(alpha), alpha, 0.0)
+        probs = np.exp(scores - m_safe[:, None])
+
+        acc = acc * alpha[:, None] + pv_block(probs, v[start:end])
+        l_run = l_run * alpha + probs.sum(axis=1)
+        m_run = m_new
+
+    if np.any(l_run == 0):
+        raise ValueError("a query row attends to no keys; check the causal mask")
+    return acc / l_run[:, None]

@@ -1,0 +1,98 @@
+"""Bit packing for low-precision integer codes.
+
+HACK stores KV codes at 2 bits per element (§5.1) and the attention
+probabilities and queries at 8 bits.  The GPU implementation packs the
+2-bit codes four-to-a-byte in the KV cache and unpacks them to INT8 in
+local memory right before the integer matmul (§6).  This module
+implements the same packing in numpy; it is used both for realism (the
+cache stores genuinely packed bytes) and for exact transfer/memory size
+accounting in the performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_codes", "unpack_codes", "packed_nbytes", "codes_per_byte"]
+
+_SUPPORTED_BITS = (2, 4, 8)
+
+
+def codes_per_byte(bits: int) -> int:
+    """Number of ``bits``-wide codes stored in one byte."""
+    _check_bits(bits)
+    return 8 // bits
+
+
+def packed_nbytes(n_codes: int, bits: int) -> int:
+    """Bytes needed to store ``n_codes`` codes of width ``bits``."""
+    per = codes_per_byte(bits)
+    return (n_codes + per - 1) // per
+
+
+def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack an array of small non-negative integers into a uint8 buffer.
+
+    Codes are packed little-end-first within each byte: the first code
+    occupies the least significant bits.  The flattened order of
+    ``codes`` is preserved, so ``unpack_codes(pack_codes(c, b), c.size,
+    b).reshape(c.shape)`` is the identity.
+
+    Raises
+    ------
+    ValueError
+        If ``bits`` is unsupported or any code is out of range.
+    """
+    _check_bits(bits)
+    flat = np.asarray(codes).reshape(-1)
+    if flat.size and (flat.min() < 0 or flat.max() > (1 << bits) - 1):
+        raise ValueError(
+            f"codes out of range for {bits}-bit packing: "
+            f"[{flat.min()}, {flat.max()}]"
+        )
+    flat = flat.astype(np.uint8)
+    if bits == 8:
+        return flat.copy()
+    per = codes_per_byte(bits)
+    pad = (-flat.size) % per
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad, dtype=np.uint8)])
+    flat = flat.reshape(-1, per)
+    out = np.zeros(flat.shape[0], dtype=np.uint8)
+    for slot in range(per):
+        out |= flat[:, slot] << (slot * bits)
+    return out
+
+
+def unpack_codes(packed: np.ndarray, n_codes: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_codes`.
+
+    Parameters
+    ----------
+    packed:
+        uint8 buffer produced by :func:`pack_codes`.
+    n_codes:
+        Number of codes originally packed (needed because packing may
+        pad the final byte).
+    bits:
+        Code width in bits.
+
+    Returns
+    -------
+    np.ndarray
+        1-D uint8 array of length ``n_codes``.
+    """
+    _check_bits(bits)
+    packed = np.asarray(packed, dtype=np.uint8)
+    if bits == 8:
+        return packed[:n_codes].copy()
+    per = codes_per_byte(bits)
+    mask = (1 << bits) - 1
+    slots = [(packed >> (slot * bits)) & mask for slot in range(per)]
+    codes = np.stack(slots, axis=1).reshape(-1)
+    return codes[:n_codes]
+
+
+def _check_bits(bits: int) -> None:
+    if bits not in _SUPPORTED_BITS:
+        raise ValueError(f"bits must be one of {_SUPPORTED_BITS}, got {bits}")

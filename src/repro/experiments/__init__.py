@@ -1,0 +1,25 @@
+"""One module per paper artifact (see DESIGN.md §4 for the index)."""
+
+from . import (
+    fig1_motivation,
+    fig2_4_quant_overhead,
+    fig9_12_jct,
+    fig13_ablation,
+    fig14_scalability,
+    sec3_fp_formats,
+    table5_memory,
+    table6_accuracy,
+    table8_sensitivity,
+)
+
+__all__ = [
+    "fig1_motivation",
+    "fig2_4_quant_overhead",
+    "fig9_12_jct",
+    "fig13_ablation",
+    "fig14_scalability",
+    "sec3_fp_formats",
+    "table5_memory",
+    "table6_accuracy",
+    "table8_sensitivity",
+]

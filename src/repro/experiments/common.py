@@ -1,0 +1,103 @@
+"""Shared experiment machinery (§7.1 defaults).
+
+Every experiment module calls :func:`run_methods` with the paper's
+deployment (Table 2/3 fleets, A100 decode) and workload (Table 4
+traces at the baseline system's capacity — "RPS set to the maximum
+processing capacity").  ``scale`` shrinks the trace for quick benchmark
+runs without changing the regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..methods.registry import get_method
+from ..model.config import ModelSpec, get_model
+from ..perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from ..sim.capacity import experiment_rps
+from ..sim.engine import SimulationResult, default_cluster, simulate
+from ..workload.datasets import get_dataset
+from ..workload.traces import generate_trace
+
+__all__ = ["ExperimentDefaults", "DEFAULTS", "run_methods", "jct_reduction",
+           "model_dataset"]
+
+#: §7.1 operating point: the cluster is loaded slightly past the
+#: baseline's bottleneck capacity, the regime where the paper's JCT
+#: gaps appear (the baseline queues; compressed methods keep headroom).
+_LOAD_FACTOR = 1.05
+
+
+@dataclass(frozen=True)
+class ExperimentDefaults:
+    """Trace size and load shared by the JCT experiments."""
+
+    n_requests: int = 120
+    load_factor: float = _LOAD_FACTOR
+    seed: int = 1
+
+
+DEFAULTS = ExperimentDefaults()
+
+
+def model_dataset(model: ModelSpec, dataset_name: str) -> tuple[str, int | None]:
+    """Resolve the paper's model↔dataset pairing quirks.
+
+    Falcon-180B cannot process Cocktail (2K context); the paper
+    substitutes arXiv capped to Falcon's window ("F-arXiv").  Returns
+    ``(dataset_name, max_context)``.
+    """
+    ds = get_dataset(dataset_name)
+    if ds.input_len.minimum >= model.max_context:
+        return "arxiv", model.max_context
+    if ds.input_len.maximum > model.max_context:
+        return dataset_name, model.max_context
+    return dataset_name, None
+
+
+def run_methods(
+    methods: tuple[str, ...],
+    model: str | ModelSpec = "L",
+    prefill_gpu: str = "A10G",
+    dataset: str = "cocktail",
+    n_requests: int | None = None,
+    load_factor: float | None = None,
+    seed: int | None = None,
+    pipelining: bool = False,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    rps: float | None = None,
+    scale: float = 1.0,
+) -> dict[str, SimulationResult]:
+    """Simulate one (model, GPU, dataset) cell for several methods.
+
+    All methods replay the *same trace* at the *baseline's* capacity
+    rate, exactly as the paper compares them.  ``scale`` multiplies the
+    trace length (use < 1 for quick runs).
+    """
+    spec = model if isinstance(model, ModelSpec) else get_model(model)
+    dataset_name, max_context = model_dataset(spec, dataset)
+    lf = DEFAULTS.load_factor if load_factor is None else load_factor
+    sd = DEFAULTS.seed if seed is None else seed
+    if rps is None:
+        rps = experiment_rps(spec, prefill_gpu, dataset_name, calib=calib,
+                             load_factor=lf)
+    if n_requests is None:
+        # Cover a comparable wall-clock horizon for every dataset: fast
+        # workloads (short prompts at tens of RPS) need more requests
+        # for queues at the bottleneck stage to become visible.
+        n_requests = int(max(DEFAULTS.n_requests, min(600, rps * 30)))
+    n = max(10, int(n_requests * scale))
+    trace = generate_trace(dataset_name, rps, n, seed=sd,
+                           max_context=max_context)
+    results = {}
+    for name in methods:
+        config = default_cluster(spec, get_method(name), prefill_gpu,
+                                 calib=calib, pipelining=pipelining)
+        results[name] = simulate(config, trace)
+    return results
+
+
+def jct_reduction(results: dict[str, SimulationResult], method: str,
+                  versus: str) -> float:
+    """Fractional JCT reduction of ``method`` relative to ``versus``."""
+    return 1.0 - results[method].avg_jct() / results[versus].avg_jct()

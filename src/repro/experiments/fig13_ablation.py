@@ -1,0 +1,86 @@
+"""Fig. 13 + Table 7 — the SE and RQE ablations (§7.4).
+
+Fig. 13: average JCT of HACK vs HACK/SE (no summation elimination) vs
+HACK/RQE (no requantization elimination) across the four datasets.
+
+Table 7: the accuracy *drop* of HACK/RQE relative to HACK — the cost of
+repeatedly requantizing V's last block — measured on the real decode
+path (:func:`repro.accuracy.harness.rqe_extra_error`) and anchored the
+same way as Table 6.
+
+Shapes: HACK/SE hurts long-sequence datasets most (recomputing Σb' over
+a long context); HACK/RQE hurts *short*-sequence datasets most (large
+batches of short requests multiply the per-iteration requantization)
+while long datasets barely notice; the RQE accuracy drop is a fraction
+of a percent and smallest on IMDb (shortest outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accuracy.anchor import calibrate_kappa, dataset_sensitivity
+from ..accuracy.harness import attention_error, rqe_extra_error
+from ..analysis.tables import SeriesFigure, Table
+from ..methods.registry import ABLATIONS
+from ..sim.engine import SimulationResult
+from .common import run_methods
+from .fig1_motivation import DATASETS
+
+__all__ = ["AblationResult", "RqeAccuracyResult", "run_fig13", "run_table7"]
+
+
+@dataclass
+class AblationResult:
+    jct: SeriesFigure
+    results: dict[str, dict[str, SimulationResult]]
+
+    def overhead(self, dataset: str, variant: str) -> float:
+        """Fractional JCT increase of ``variant`` over full HACK."""
+        full = self.results[dataset]["hack"].avg_jct()
+        return self.results[dataset][variant].avg_jct() / full - 1.0
+
+    def render(self) -> str:
+        return self.jct.render()
+
+
+def run_fig13(scale: float = 1.0) -> AblationResult:
+    """Fig. 13: JCT of HACK, HACK/SE, HACK/RQE by dataset."""
+    jct = SeriesFigure("Fig 13: average JCT (s), SE/RQE ablations "
+                       "(Llama-70B, A10G)", "method", list(ABLATIONS))
+    results = {}
+    for dataset in DATASETS:
+        res = run_methods(ABLATIONS, dataset=dataset, scale=scale)
+        results[dataset] = res
+        jct.add_series(dataset, [res[m].avg_jct() for m in ABLATIONS])
+    return AblationResult(jct=jct, results=results)
+
+
+@dataclass
+class RqeAccuracyResult:
+    table: Table
+    drops: dict[str, float]   # dataset -> accuracy drop (percentage points)
+
+    def render(self) -> str:
+        return self.table.render()
+
+
+def run_table7(n_trials: int = 4, seed: int = 0) -> RqeAccuracyResult:
+    """Table 7: accuracy decrease of HACK/RQE vs HACK per dataset.
+
+    The decode-path harness measures the extra attention error the
+    no-RQE cache accumulates; the Table 6 κ converts it into accuracy
+    points, scaled by each dataset's output-length sensitivity (the
+    requantization error only accumulates during decode, §7.4).
+    """
+    kappa = calibrate_kappa(attention_error("hack_pi64", n_trials=n_trials,
+                                            seed=100))
+    extra = rqe_extra_error(n_trials=n_trials, seed=seed)
+    drops = {}
+    for dataset in DATASETS:
+        drops[dataset] = -100.0 * kappa * extra * dataset_sensitivity(dataset)
+    table = Table("Table 7: accuracy decrease of HACK/RQE vs HACK (points)",
+                  ["dataset", "drop"])
+    for dataset in DATASETS:
+        table.add_row(dataset, drops[dataset])
+    return RqeAccuracyResult(table=table, drops=drops)

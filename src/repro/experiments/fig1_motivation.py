@@ -1,0 +1,98 @@
+"""Fig. 1 — bottlenecks in baseline disaggregated inference (§2.1).
+
+Four panels:
+
+* (a) average prefill/comm/decode time ratios for Llama-3.1 70B +
+  Cocktail across the five prefill GPUs;
+* (b) the same across models (M, P, Y, L on Cocktail; Falcon on arXiv
+  capped to its 2K window — "F-arXiv");
+* (c) the same across the four datasets on A10G;
+* (d) the communication ratio under layer-wise pipelining as RPS grows
+  (0.06–0.18), across the five prefill GPUs.
+
+Shapes to reproduce: A100's comm ratio is small (<10%) while 10–50 Gbps
+instances sit in the tens of percent; long-sequence datasets dominate
+short ones in both comm and compute; pipelining helps only while comm
+fits under prefill and decode memory lasts (V100 deteriorates fastest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import SeriesFigure
+from ..model.config import get_model
+from .common import run_methods
+
+__all__ = ["MotivationResult", "run", "GPUS", "MODEL_LETTERS", "DATASETS"]
+
+GPUS = ("A10G", "V100", "T4", "L4", "A100")
+MODEL_LETTERS = ("M", "P", "Y", "L", "F")
+DATASETS = ("imdb", "arxiv", "cocktail", "humaneval")
+PIPELINE_RPS = (0.06, 0.10, 0.14, 0.18)
+
+_RATIO_KEYS = ("prefill", "comm", "decode")
+
+
+@dataclass
+class MotivationResult:
+    """The four panels as figure series (ratios in percent)."""
+
+    by_gpu: SeriesFigure
+    by_model: SeriesFigure
+    by_dataset: SeriesFigure
+    pipelining: SeriesFigure
+
+    def render(self) -> str:
+        return "\n\n".join(f.render() for f in (
+            self.by_gpu, self.by_model, self.by_dataset, self.pipelining
+        ))
+
+
+def _ratios(result) -> dict[str, float]:
+    ratios = result.mean_ratios(include_queue=False)
+    # Fold the quantization bucket (zero for the baseline) into prefill.
+    return {
+        "prefill": 100 * (ratios["prefill"] + ratios["quant"]),
+        "comm": 100 * ratios["comm"],
+        "decode": 100 * (ratios["decode"] + ratios["dequant_or_approx"]),
+    }
+
+
+def run(scale: float = 1.0) -> MotivationResult:
+    """Reproduce all four panels of Fig. 1."""
+    by_gpu = SeriesFigure("Fig 1(a): baseline time ratios by prefill GPU "
+                          "(Llama-70B, Cocktail)", "bucket", list(_RATIO_KEYS))
+    for gpu in GPUS:
+        res = run_methods(("baseline",), prefill_gpu=gpu, scale=scale)
+        ratios = _ratios(res["baseline"])
+        by_gpu.add_series(gpu, [ratios[k] for k in _RATIO_KEYS])
+
+    by_model = SeriesFigure("Fig 1(b): baseline time ratios by model "
+                            "(A10G prefill)", "bucket", list(_RATIO_KEYS))
+    for letter in MODEL_LETTERS:
+        label = "F-arXiv" if letter == "F" else letter
+        res = run_methods(("baseline",), model=get_model(letter), scale=scale)
+        ratios = _ratios(res["baseline"])
+        by_model.add_series(label, [ratios[k] for k in _RATIO_KEYS])
+
+    by_dataset = SeriesFigure("Fig 1(c): baseline time ratios by dataset "
+                              "(Llama-70B, A10G)", "bucket", list(_RATIO_KEYS))
+    for dataset in DATASETS:
+        res = run_methods(("baseline",), dataset=dataset, scale=scale)
+        ratios = _ratios(res["baseline"])
+        by_dataset.add_series(dataset, [ratios[k] for k in _RATIO_KEYS])
+
+    pipelining = SeriesFigure("Fig 1(d): comm ratio with pipelining vs RPS "
+                              "(Llama-70B, Cocktail)", "RPS",
+                              list(PIPELINE_RPS))
+    for gpu in GPUS:
+        comm = []
+        for rps in PIPELINE_RPS:
+            res = run_methods(("baseline",), prefill_gpu=gpu, rps=rps,
+                              pipelining=True, scale=scale)
+            comm.append(_ratios(res["baseline"])["comm"])
+        pipelining.add_series(gpu, comm)
+
+    return MotivationResult(by_gpu=by_gpu, by_model=by_model,
+                            by_dataset=by_dataset, pipelining=pipelining)

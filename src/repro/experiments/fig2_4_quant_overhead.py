@@ -1,0 +1,78 @@
+"""Figs. 2–4 — CacheGen/KVQuant inside the disaggregated pipeline (§2.2).
+
+Repeats the Fig. 1 sweeps with the two KV-quantization comparators:
+communication shrinks dramatically, but a new dequantization bucket
+appears at 15–38% of JCT — the overhead HACK exists to remove.
+
+Shapes: comm ratio far below the baseline's on every axis; the dequant
+ratio largest on long-sequence datasets (12–25× the short ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import SeriesFigure
+from ..model.config import get_model
+from .common import run_methods
+from .fig1_motivation import DATASETS, GPUS, MODEL_LETTERS
+
+__all__ = ["QuantOverheadResult", "run"]
+
+_RATIO_KEYS = ("prefill", "comm", "dequant", "decode")
+METHODS = ("cachegen", "kvquant")
+
+
+@dataclass
+class QuantOverheadResult:
+    """One panel set per comparator method."""
+
+    by_gpu: dict[str, SeriesFigure]
+    by_model: dict[str, SeriesFigure]
+    by_dataset: dict[str, SeriesFigure]
+
+    def render(self) -> str:
+        parts = []
+        for group in (self.by_gpu, self.by_model, self.by_dataset):
+            parts.extend(fig.render() for fig in group.values())
+        return "\n\n".join(parts)
+
+
+def _ratios(result) -> list[float]:
+    ratios = result.mean_ratios(include_queue=False)
+    return [
+        100 * (ratios["prefill"] + ratios["quant"]),
+        100 * ratios["comm"],
+        100 * ratios["dequant_or_approx"],
+        100 * ratios["decode"],
+    ]
+
+
+def run(scale: float = 1.0) -> QuantOverheadResult:
+    """Reproduce Figs. 2 (by GPU), 3 (by model) and 4 (by dataset)."""
+    by_gpu, by_model, by_dataset = {}, {}, {}
+    for method in METHODS:
+        fig = SeriesFigure(f"Fig 2: {method} time ratios by prefill GPU",
+                           "bucket", list(_RATIO_KEYS))
+        for gpu in GPUS:
+            res = run_methods((method,), prefill_gpu=gpu, scale=scale)
+            fig.add_series(gpu, _ratios(res[method]))
+        by_gpu[method] = fig
+
+        fig = SeriesFigure(f"Fig 3: {method} time ratios by model",
+                           "bucket", list(_RATIO_KEYS))
+        for letter in MODEL_LETTERS:
+            label = "F-arXiv" if letter == "F" else letter
+            res = run_methods((method,), model=get_model(letter), scale=scale)
+            fig.add_series(label, _ratios(res[method]))
+        by_model[method] = fig
+
+        fig = SeriesFigure(f"Fig 4: {method} time ratios by dataset",
+                           "bucket", list(_RATIO_KEYS))
+        for dataset in DATASETS:
+            res = run_methods((method,), dataset=dataset, scale=scale)
+            fig.add_series(dataset, _ratios(res[method]))
+        by_dataset[method] = fig
+
+    return QuantOverheadResult(by_gpu=by_gpu, by_model=by_model,
+                               by_dataset=by_dataset)

@@ -1,0 +1,116 @@
+"""Figs. 9–12 — end-to-end JCT comparison (§7.2).
+
+* Fig. 9: average JCT by dataset (Llama-70B, A10G prefill).
+* Fig. 10: the Fig. 9 runs decomposed into prefill / quant / comm /
+  dequant-or-approx / decode buckets.
+* Fig. 11: average JCT by model (Cocktail; Falcon on capped arXiv).
+* Fig. 12: average JCT by prefill GPU (Llama-70B, Cocktail).
+
+Shapes: HACK < CacheGen ≤ KVQuant < Baseline everywhere; HACK's gain
+over the baseline peaks on the lowest-bandwidth instance (V100) and its
+gain over the quantization comparators is smallest there (no INT8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import SeriesFigure, Table
+from ..methods.registry import PAPER_COMPARISON
+from ..model.config import get_model
+from ..sim.engine import SimulationResult
+from .common import jct_reduction, run_methods
+from .fig1_motivation import DATASETS, GPUS, MODEL_LETTERS
+
+__all__ = ["JctByDataset", "JctByModel", "JctByGpu", "run_fig9_fig10",
+           "run_fig11", "run_fig12"]
+
+_BUCKETS = ("prefill", "quant", "comm", "dequant_or_approx", "decode", "queue")
+
+
+@dataclass
+class JctByDataset:
+    """Figs. 9 and 10 combined (same simulations)."""
+
+    jct: SeriesFigure
+    decomposition: dict[str, Table]
+    results: dict[str, dict[str, SimulationResult]]
+
+    def reduction(self, dataset: str, method: str, versus: str) -> float:
+        return jct_reduction(self.results[dataset], method, versus)
+
+    def render(self) -> str:
+        parts = [self.jct.render()]
+        parts.extend(t.render() for t in self.decomposition.values())
+        return "\n\n".join(parts)
+
+
+def run_fig9_fig10(scale: float = 1.0) -> JctByDataset:
+    """Average JCT and its decomposition across datasets."""
+    jct = SeriesFigure("Fig 9: average JCT (s) by dataset "
+                       "(Llama-70B, A10G prefill)", "method",
+                       list(PAPER_COMPARISON))
+    decomposition = {}
+    results = {}
+    for dataset in DATASETS:
+        res = run_methods(PAPER_COMPARISON, dataset=dataset, scale=scale)
+        results[dataset] = res
+        jct.add_series(dataset, [res[m].avg_jct() for m in PAPER_COMPARISON])
+        table = Table(f"Fig 10: JCT decomposition (s) — {dataset}",
+                      ["method", *_BUCKETS])
+        for method in PAPER_COMPARISON:
+            decomp = res[method].mean_decomposition()
+            table.add_row(method, *(decomp[b] for b in _BUCKETS))
+        decomposition[dataset] = table
+    return JctByDataset(jct=jct, decomposition=decomposition, results=results)
+
+
+@dataclass
+class JctByModel:
+    jct: SeriesFigure
+    results: dict[str, dict[str, SimulationResult]]
+
+    def reduction(self, label: str, method: str, versus: str) -> float:
+        return jct_reduction(self.results[label], method, versus)
+
+    def render(self) -> str:
+        return self.jct.render()
+
+
+def run_fig11(scale: float = 1.0) -> JctByModel:
+    """Average JCT across models (Cocktail / F-arXiv, A10G prefill)."""
+    jct = SeriesFigure("Fig 11: average JCT (s) by model (A10G prefill)",
+                       "method", list(PAPER_COMPARISON))
+    results = {}
+    for letter in MODEL_LETTERS:
+        label = "F-arXiv" if letter == "F" else letter
+        res = run_methods(PAPER_COMPARISON, model=get_model(letter),
+                          scale=scale)
+        results[label] = res
+        jct.add_series(label, [res[m].avg_jct() for m in PAPER_COMPARISON])
+    return JctByModel(jct=jct, results=results)
+
+
+@dataclass
+class JctByGpu:
+    jct: SeriesFigure
+    results: dict[str, dict[str, SimulationResult]]
+
+    def reduction(self, gpu: str, method: str, versus: str) -> float:
+        return jct_reduction(self.results[gpu], method, versus)
+
+    def render(self) -> str:
+        return self.jct.render()
+
+
+def run_fig12(scale: float = 1.0) -> JctByGpu:
+    """Average JCT across prefill GPUs (Llama-70B, Cocktail)."""
+    jct = SeriesFigure("Fig 12: average JCT (s) by prefill instance "
+                       "(Llama-70B, Cocktail)", "method",
+                       list(PAPER_COMPARISON))
+    results = {}
+    for gpu in GPUS:
+        res = run_methods(PAPER_COMPARISON, prefill_gpu=gpu, scale=scale)
+        results[gpu] = res
+        jct.add_series(gpu, [res[m].avg_jct() for m in PAPER_COMPARISON])
+    return JctByGpu(jct=jct, results=results)

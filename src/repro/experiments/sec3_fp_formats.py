@@ -1,0 +1,54 @@
+"""§3 — the low-precision floating-point study (FP4/FP6/FP8).
+
+Replays the paper's simulation: KV stored in FP4/6/8 (MX block scales),
+converted to FP16 before attention on pre-H100 GPUs (a per-iteration
+materialization cost), with FP8's matmul time halved to *simulate* FP8
+compute.  Measures the average communication time ratio and the KV
+memory-access ratio for Llama-70B + Cocktail across prefill instances.
+
+Shape: comm ratio ordering FP4 < FP6 < FP8, all far above the 2-bit
+methods — FP formats cannot compress enough to fix the transfer
+bottleneck (the §3 conclusion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import SeriesFigure
+from ..methods.registry import FP_FORMAT_METHODS
+from ..sim.engine import SimulationResult
+from .common import run_methods
+from .fig1_motivation import GPUS
+
+__all__ = ["FpFormatsResult", "run"]
+
+
+@dataclass
+class FpFormatsResult:
+    comm: SeriesFigure
+    kv_access: SeriesFigure
+    results: dict[str, dict[str, SimulationResult]]
+
+    def render(self) -> str:
+        return "\n\n".join((self.comm.render(), self.kv_access.render()))
+
+
+def run(scale: float = 1.0) -> FpFormatsResult:
+    """Reproduce the §3 FP4/6/8 ratios (plus HACK for contrast)."""
+    methods = (*FP_FORMAT_METHODS, "hack")
+    comm = SeriesFigure("Sec 3: average comm time ratio (%) by prefill GPU",
+                        "method", list(methods))
+    kv_access = SeriesFigure("Sec 3: KV memory access ratio of JCT (%)",
+                             "method", list(methods))
+    results: dict[str, dict[str, SimulationResult]] = {}
+    for gpu in GPUS:
+        res = run_methods(methods, prefill_gpu=gpu, scale=scale)
+        results[gpu] = res
+        comm.add_series(gpu, [
+            100 * res[m].mean_ratios()["comm"] for m in methods
+        ])
+        kv_access.add_series(gpu, [
+            100 * res[m].mean_kv_access_ratio() for m in methods
+        ])
+    return FpFormatsResult(comm=comm, kv_access=kv_access, results=results)

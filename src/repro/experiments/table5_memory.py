@@ -1,0 +1,84 @@
+"""Table 5 — peak decode-GPU memory usage (§7.2, §7.4).
+
+Peak memory fraction on the decode replicas for each method × dataset,
+from the same runs as Fig. 9, plus the §7.4 overhead accounting for
+HACK's SE sums and RQE FP16 tail (computed from the method byte layout
+on the workload's mean context).
+
+Shapes: quantized methods cut peak usage substantially (the paper
+reports 14–34%, most on long-sequence datasets); HACK sits slightly
+above CacheGen/KVQuant because it also stores the SE sums and the FP16
+tail; long-sequence datasets dominate short ones for every method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import Table
+from ..core.quantize import sum_storage_bits
+from ..methods.registry import PAPER_COMPARISON, get_method
+from ..model.config import get_model
+from ..workload.datasets import get_dataset
+from .common import run_methods
+from .fig1_motivation import DATASETS
+
+__all__ = ["MemoryResult", "run", "se_overhead_fraction",
+           "rqe_tail_fraction"]
+
+
+def se_overhead_fraction(dataset: str, model: str = "L",
+                         replica_mem_gb: float = 320.0,
+                         n_requests: int = 20) -> float:
+    """SE sum storage as a fraction of replica memory (§7.4: 2.2–2.7%)."""
+    spec = get_model(model)
+    method = get_method("hack")
+    ds = get_dataset(dataset)
+    ctx = ds.mean_total_len()
+    per_value = sum_storage_bits(2, method.partition_size) / 8.0 \
+        / method.partition_size
+    sums_bytes = n_requests * ctx * spec.kv_bytes_per_token(per_value)
+    return sums_bytes / (replica_mem_gb * 1e9)
+
+
+def rqe_tail_fraction(model: str = "L", replica_mem_gb: float = 320.0,
+                      n_requests: int = 20) -> float:
+    """RQE FP16 tail buffer fraction (§7.4: 0.24–0.51%)."""
+    spec = get_model(model)
+    pi = get_method("hack").partition_size
+    # Expected tail occupancy Π/2 tokens of V per (layer, kv head).
+    tail_bytes = (n_requests * (pi / 2) * spec.n_layers * spec.n_kv_heads
+                  * spec.head_dim * 2)
+    return tail_bytes / (replica_mem_gb * 1e9)
+
+
+@dataclass
+class MemoryResult:
+    table: Table
+    peaks: dict[str, dict[str, float]]   # dataset -> method -> fraction
+    se_fraction: dict[str, float]
+    rqe_fraction: float
+
+    def render(self) -> str:
+        lines = [self.table.render(), ""]
+        for dataset, frac in self.se_fraction.items():
+            lines.append(f"SE sum storage ({dataset}): {frac:.2%} of replica memory")
+        lines.append(f"RQE FP16 tail buffer: {self.rqe_fraction:.2%} of replica memory")
+        return "\n".join(lines)
+
+
+def run(scale: float = 1.0) -> MemoryResult:
+    """Reproduce Table 5 plus the §7.4 overhead numbers."""
+    table = Table("Table 5: peak decode GPU memory usage (%)",
+                  ["method", *DATASETS])
+    peaks: dict[str, dict[str, float]] = {d: {} for d in DATASETS}
+    for dataset in DATASETS:
+        res = run_methods(PAPER_COMPARISON, dataset=dataset, scale=scale)
+        for method in PAPER_COMPARISON:
+            peaks[dataset][method] = res[method].peak_memory_fraction
+    for method in PAPER_COMPARISON:
+        table.add_row(method,
+                      *(100 * peaks[d][method] for d in DATASETS))
+    se_fraction = {d: se_overhead_fraction(d) for d in DATASETS}
+    return MemoryResult(table=table, peaks=peaks, se_fraction=se_fraction,
+                        rqe_fraction=rqe_tail_fraction())

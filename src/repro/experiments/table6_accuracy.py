@@ -1,0 +1,94 @@
+"""Table 6 — accuracy across methods, models and datasets (§7.3).
+
+Per-cell errors are *measured* on realistic synthetic KV with the
+model's actual head dimension and a context length scaled to the
+dataset; the error→accuracy anchoring is described in
+:mod:`repro.accuracy.anchor`.
+
+Shapes: every 2-bit method loses only a fraction of a percent to a few
+percent; within HACK the Π ordering (32 best, 128 worst) emerges from
+the measured errors; Π=128 is the weakest method in the comparison.
+(Note recorded in EXPERIMENTS.md: the paper's 0.2–0.8% edge of HACK
+Π=64 *over* CacheGen/KVQuant is finer than this substrate resolves —
+our measured errors put them in the same band, ordered the other way.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accuracy.anchor import (
+    PAPER_BASELINE_ACCURACY,
+    TABLE6_CELLS,
+    accuracy_table,
+    calibrate_kappa,
+)
+from ..accuracy.harness import attention_error
+from ..analysis.tables import Table
+from ..model.config import get_model
+
+__all__ = ["AccuracyResult", "run", "METHOD_ORDER"]
+
+METHOD_ORDER = ("baseline", "hack_pi32", "hack_pi64", "cachegen", "kvquant",
+                "hack_pi128")
+
+#: Context length used for error measurement, per dataset (scaled-down
+#: representatives; error saturates well below real lengths).
+_CONTEXT = {"imdb": 128, "arxiv": 320, "cocktail": 384, "humaneval": 128}
+
+
+@dataclass
+class AccuracyResult:
+    table: Table
+    accuracies: dict[str, dict[tuple[str, str], float]]
+    errors: dict[str, dict[str, float]]   # dataset -> method -> error
+
+    def mean_loss(self, method: str) -> float:
+        """Mean fractional loss vs the baseline across all 19 cells."""
+        total = 0.0
+        for cell in TABLE6_CELLS:
+            base = PAPER_BASELINE_ACCURACY[cell]
+            total += 1 - self.accuracies[method][cell] / base
+        return total / len(TABLE6_CELLS)
+
+    def render(self) -> str:
+        return self.table.render()
+
+
+def run(n_trials: int = 4, seed: int = 100) -> AccuracyResult:
+    """Reproduce Table 6 (all 19 cells × 6 method rows)."""
+    # Measure per (dataset, head_dim) — Falcon's 64-wide heads get their
+    # own measurements; everyone else shares head_dim=128.
+    errors: dict[str, dict[str, float]] = {}
+    per_dim_cache: dict[tuple[str, int, str], float] = {}
+
+    def error_for(method: str, dataset: str, head_dim: int) -> float:
+        key = (dataset, head_dim, method)
+        if key not in per_dim_cache:
+            per_dim_cache[key] = attention_error(
+                method, n_tokens=_CONTEXT[dataset], head_dim=head_dim,
+                n_trials=n_trials, seed=seed,
+            )
+        return per_dim_cache[key]
+
+    # κ anchored on HACK Π=64 at the standard configuration.
+    kappa = calibrate_kappa(error_for("hack_pi64", "cocktail", 128))
+
+    accuracies: dict[str, dict[tuple[str, str], float]] = {
+        m: {} for m in METHOD_ORDER
+    }
+    for dataset, letter in TABLE6_CELLS:
+        head_dim = get_model(letter).head_dim
+        errors.setdefault(dataset, {})
+        for method in METHOD_ORDER:
+            err = error_for(method, dataset, head_dim)
+            errors[dataset][method] = err
+            cell_table = accuracy_table({method: err}, kappa=kappa)[method]
+            accuracies[method][(dataset, letter)] = cell_table[(dataset, letter)]
+
+    table = Table("Table 6: accuracy (%)",
+                  ["method", *(f"{d[:4]}-{m}" for d, m in TABLE6_CELLS)])
+    for method in METHOD_ORDER:
+        table.add_row(method,
+                      *(accuracies[method][cell] for cell in TABLE6_CELLS))
+    return AccuracyResult(table=table, accuracies=accuracies, errors=errors)

@@ -1,0 +1,78 @@
+"""Table 8 — partition-size sensitivity (§7.5).
+
+For Π ∈ {32, 64} versus Π=128: the accuracy *increase* (from the
+measured errors, anchored as in Table 6) and the JCT *increase* (from
+simulation — smaller partitions mean more metadata on the wire, more
+correction work and a less efficient fused kernel).
+
+Shape: Π=32 buys the most accuracy but costs the most JCT (the paper
+reports up to +28% on Cocktail); Π=64 sits between — the trade-off that
+makes it the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accuracy.anchor import calibrate_kappa, dataset_sensitivity
+from ..accuracy.harness import attention_error
+from ..analysis.tables import Table
+from .common import run_methods
+from .fig1_motivation import DATASETS
+
+__all__ = ["SensitivityResult", "run"]
+
+_PI_VALUES = (32, 64, 128)
+_METHODS = tuple(f"hack_pi{pi}" for pi in _PI_VALUES)
+
+
+@dataclass
+class SensitivityResult:
+    table: Table
+    #: dataset -> Π -> fractional JCT increase vs Π=128.
+    jct_increase: dict[str, dict[int, float]]
+    #: dataset -> Π -> accuracy-point increase vs Π=128.
+    accuracy_increase: dict[str, dict[int, float]]
+
+    def render(self) -> str:
+        return self.table.render()
+
+
+def run(scale: float = 1.0, n_trials: int = 4) -> SensitivityResult:
+    """Reproduce Table 8 across the four datasets."""
+    kappa = calibrate_kappa(attention_error("hack_pi64", n_trials=n_trials,
+                                            seed=100))
+    jct_increase: dict[str, dict[int, float]] = {}
+    accuracy_increase: dict[str, dict[int, float]] = {}
+
+    for dataset in DATASETS:
+        res = run_methods(_METHODS, dataset=dataset, scale=scale)
+        base_jct = res["hack_pi128"].avg_jct()
+        errors = {
+            pi: attention_error(f"hack_pi{pi}", n_trials=n_trials, seed=100)
+            for pi in _PI_VALUES
+        }
+        sens = dataset_sensitivity(dataset)
+        jct_increase[dataset] = {}
+        accuracy_increase[dataset] = {}
+        for pi in (32, 64):
+            jct_increase[dataset][pi] = (
+                res[f"hack_pi{pi}"].avg_jct() / base_jct - 1.0
+            )
+            accuracy_increase[dataset][pi] = (
+                100.0 * kappa * sens * (errors[128] - errors[pi])
+            )
+
+    table = Table("Table 8: Π=32 / Π=64 vs Π=128 (accuracy points, JCT %)",
+                  ["dataset", "acc+ (Π=32)", "jct+ (Π=32)",
+                   "acc+ (Π=64)", "jct+ (Π=64)"])
+    for dataset in DATASETS:
+        table.add_row(
+            dataset,
+            accuracy_increase[dataset][32],
+            100 * jct_increase[dataset][32],
+            accuracy_increase[dataset][64],
+            100 * jct_increase[dataset][64],
+        )
+    return SensitivityResult(table=table, jct_increase=jct_increase,
+                             accuracy_increase=accuracy_increase)

@@ -1,0 +1,23 @@
+"""Method descriptors wiring quantizers into the performance model."""
+
+from .base import FP16_BYTES, Method, quantized_bytes_per_value
+from .registry import (
+    ABLATIONS,
+    FP_FORMAT_METHODS,
+    METHODS,
+    PAPER_COMPARISON,
+    get_method,
+    hack_method,
+)
+
+__all__ = [
+    "Method",
+    "FP16_BYTES",
+    "quantized_bytes_per_value",
+    "METHODS",
+    "get_method",
+    "hack_method",
+    "PAPER_COMPARISON",
+    "ABLATIONS",
+    "FP_FORMAT_METHODS",
+]

@@ -1,0 +1,26 @@
+"""Model substrate: architecture registry and a runnable numpy transformer."""
+
+from .config import MODEL_LETTERS, MODELS, ModelSpec, get_model, tiny_spec
+from .rope import apply_rope, rope_angles
+from .transformer import (
+    FULL_BACKENDS,
+    Transformer,
+    TransformerWeights,
+    rms_norm,
+    silu,
+)
+
+__all__ = [
+    "ModelSpec",
+    "MODELS",
+    "MODEL_LETTERS",
+    "get_model",
+    "tiny_spec",
+    "apply_rope",
+    "rope_angles",
+    "Transformer",
+    "TransformerWeights",
+    "FULL_BACKENDS",
+    "rms_norm",
+    "silu",
+]

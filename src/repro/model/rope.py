@@ -1,0 +1,43 @@
+"""Rotary position embeddings (RoPE), as used by every registry model.
+
+RoPE rotates consecutive channel pairs of Q and K by a position- and
+frequency-dependent angle; relative positions then appear as phase
+differences in the Q·K dot products.  The implementation operates on
+``(seq_len, head_dim)`` matrices for one head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rope_angles", "apply_rope"]
+
+
+def rope_angles(positions: np.ndarray, head_dim: int,
+                base: float = 10000.0) -> tuple[np.ndarray, np.ndarray]:
+    """cos/sin tables of shape ``(len(positions), head_dim // 2)``."""
+    if head_dim % 2:
+        raise ValueError(f"head_dim must be even for RoPE, got {head_dim}")
+    positions = np.asarray(positions, dtype=np.float64)
+    inv_freq = base ** (-np.arange(0, head_dim, 2) / head_dim)
+    angles = positions[:, None] * inv_freq[None, :]
+    return np.cos(angles), np.sin(angles)
+
+
+def apply_rope(x: np.ndarray, positions: np.ndarray,
+               base: float = 10000.0) -> np.ndarray:
+    """Rotate channel pairs of ``x`` (``(seq_len, head_dim)``) by position.
+
+    Pairs are (0,1), (2,3), …, the interleaved convention; each pair is
+    rotated by ``position * base**(-2i/d)`` radians.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected (seq_len, head_dim), got shape {x.shape}")
+    cos, sin = rope_angles(positions, x.shape[1], base)
+    even = x[:, 0::2]
+    odd = x[:, 1::2]
+    out = np.empty_like(x)
+    out[:, 0::2] = even * cos - odd * sin
+    out[:, 1::2] = even * sin + odd * cos
+    return out

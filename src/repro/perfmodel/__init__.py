@@ -1,0 +1,29 @@
+"""Analytic performance model: prefill, decode, transfer, calibration."""
+
+from .calibration import Calibration, DEFAULT_CALIBRATION, calibrated
+from .decode import (
+    IterationTiming,
+    RequestDecodeCosts,
+    iteration_latency,
+    param_read_time,
+    request_decode_costs,
+)
+from .prefill import PrefillBreakdown, attention_rate_tflops, prefill_time
+from .transfer import kv_wire_bytes, make_network_model, transfer_time
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "calibrated",
+    "PrefillBreakdown",
+    "prefill_time",
+    "attention_rate_tflops",
+    "RequestDecodeCosts",
+    "IterationTiming",
+    "request_decode_costs",
+    "iteration_latency",
+    "param_read_time",
+    "kv_wire_bytes",
+    "transfer_time",
+    "make_network_model",
+]

@@ -1,0 +1,166 @@
+"""Decode-stage timing model (memory-bound roofline with batching).
+
+A decode replica runs continuous batching: every iteration produces one
+token for each in-flight request.  The iteration latency is
+
+    base overhead                      (scheduler + kernel launches)
+  + parameter read                     (whole model, shared by the batch)
+  + Σ over requests of:
+      KV read          — the request's resident KV bytes over HBM
+      attention compute — two skinny matmuls (INT8 for HACK)
+      dequantization   — comparators: full-KV dequant (§2.2)
+      sum recompute    — HACK/SE ablation: re-reads the quantized KV
+      requantization   — HACK/RQE ablation: last-V-block round trip
+      Eq. 4 corrections — HACK: the ``(9·N·P + …)`` terms (§5.2–5.3)
+      FP16 tail        — HACK+RQE: the ≤Π-token FP16 V block matmul
+
+Per-request JCT decomposition attributes dequant/approx to their own
+buckets and everything else to "decode", matching Fig. 10's buckets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cluster.parallelism import ReplicaResources
+from ..methods.base import FP16_BYTES, Method
+from ..model.config import ModelSpec
+from .calibration import Calibration, DEFAULT_CALIBRATION
+
+__all__ = ["RequestDecodeCosts", "IterationTiming", "param_read_time",
+           "request_decode_costs", "iteration_latency"]
+
+
+@dataclass(frozen=True)
+class RequestDecodeCosts:
+    """Per-request, per-iteration cost components (seconds)."""
+
+    kv_read_s: float
+    compute_s: float
+    dequant_s: float
+    approx_s: float
+    requant_s: float
+
+    @property
+    def total_s(self) -> float:
+        return (self.kv_read_s + self.compute_s + self.dequant_s
+                + self.approx_s + self.requant_s)
+
+
+@dataclass(frozen=True)
+class IterationTiming:
+    """One decode iteration of a batch."""
+
+    latency_s: float
+    shared_s: float                      # base overhead + parameter read
+    per_request: tuple[RequestDecodeCosts, ...]
+
+
+def param_read_time(spec: ModelSpec, replica: ReplicaResources,
+                    calib: Calibration = DEFAULT_CALIBRATION) -> float:
+    """Seconds to stream the parameters once (shared across the batch)."""
+    bw = replica.mem_bw_gbps * 1e9 * calib.param_bw_eff
+    return spec.param_bytes() / bw
+
+
+def request_decode_costs(
+    spec: ModelSpec,
+    replica: ReplicaResources,
+    method: Method,
+    ctx_len: int,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> RequestDecodeCosts:
+    """Per-iteration costs of one request with ``ctx_len`` cached tokens."""
+    if ctx_len < 1:
+        raise ValueError(f"ctx_len must be >= 1, got {ctx_len}")
+    kv_bw = replica.mem_bw_gbps * 1e9 * calib.kv_bw_eff
+    stream_bw = replica.mem_bw_gbps * 1e9 * calib.stream_bw_eff
+    kv_fp16_bytes = ctx_len * spec.kv_bytes_per_token(FP16_BYTES)
+    kv_resident_bytes = ctx_len * spec.kv_bytes_per_token(
+        method.kv_mem_bytes_per_value
+    )
+
+    kv_read_s = kv_resident_bytes / kv_bw
+
+    # Attention compute: Q·Kᵀ and P·V over the cached context for every
+    # query head.  Skinny (M=1) matmuls run at the decode MFU.
+    attn_flops = 4.0 * ctx_len * spec.n_heads * spec.head_dim * spec.n_layers
+    if method.int8_attention and replica.supports_int8:
+        rate = (replica.int8_tops * 1e12 * calib.decode_compute_mfu
+                * method.int_compute_gain
+                * calib.partition_efficiency(method.partition_size))
+    elif method.fp8_attention_sim:
+        rate = (replica.fp16_tflops * 1e12 * calib.decode_compute_mfu
+                * calib.fp8_sim_attention_speedup)
+    else:
+        rate = replica.fp16_tflops * 1e12 * calib.decode_compute_mfu
+    compute_s = attn_flops / rate
+
+    if method.approx_per_iter and method.requant_elimination:
+        # FP16 matmul over the ≤Π-token tail of V (Π/2 in expectation).
+        tail_tokens = method.partition_size / 2.0
+        tail_flops = (2.0 * tail_tokens * spec.n_heads * spec.head_dim
+                      * spec.n_layers)
+        compute_s += tail_flops / (replica.fp16_tflops * 1e12
+                                   * calib.decode_compute_mfu)
+
+    dequant_bw = replica.mem_bw_gbps * 1e9 * calib.dequant_bw_eff
+    dequant_s = 0.0
+    if method.dequant_per_iter:
+        # Reads scattered code pages, decodes them (bitstream / gather),
+        # and writes an FP16 copy — charged at the dequantization rate.
+        dequant_s = (kv_fp16_bytes * calib.dequant_traffic_factor
+                     * method.dequant_traffic_scale / dequant_bw)
+
+    approx_s = 0.0
+    requant_s = 0.0
+    if method.approx_per_iter:
+        approx_s = _approximation_time(spec, replica, method, ctx_len, calib)
+        if not method.summation_elimination:
+            # Recomputing Σb' re-reads and unpacks the quantized KV.
+            approx_s += kv_fp16_bytes * calib.nose_traffic_factor / dequant_bw
+        if not method.requant_elimination:
+            requant_s = calib.requant_per_request_s
+
+    return RequestDecodeCosts(kv_read_s=kv_read_s, compute_s=compute_s,
+                              dequant_s=dequant_s, approx_s=approx_s,
+                              requant_s=requant_s)
+
+
+def iteration_latency(
+    spec: ModelSpec,
+    replica: ReplicaResources,
+    method: Method,
+    ctx_lens: list[int],
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> IterationTiming:
+    """Latency of one continuous-batching iteration over ``ctx_lens``."""
+    if not ctx_lens:
+        raise ValueError("ctx_lens must contain at least one request")
+    shared = calib.decode_base_overhead_s + param_read_time(spec, replica, calib)
+    per_request = tuple(
+        request_decode_costs(spec, replica, method, ctx, calib)
+        for ctx in ctx_lens
+    )
+    latency = shared + sum(costs.total_s for costs in per_request)
+    return IterationTiming(latency_s=latency, shared_s=shared,
+                           per_request=per_request)
+
+
+def _approximation_time(spec, replica, method, ctx_len, calib):
+    """Eq. 4 correction time with the per-partition count (§5.2–§5.3).
+
+    Per layer and query head: Q·Kᵀ corrections cost ``9·L·P_k + d_h``
+    (``P_k = d_h/Π`` head-dim partitions) and P·V corrections cost
+    ``9·d_h·P_v + L`` (``P_v = L/Π`` sequence partitions).  Runs on the
+    vector units, not tensor cores.
+    """
+    pi = method.partition_size
+    p_k = max(1, math.ceil(spec.head_dim / pi))
+    p_v = max(1, math.ceil(ctx_len / pi))
+    per_head = (9.0 * ctx_len * p_k + spec.head_dim
+                + 9.0 * spec.head_dim * p_v + ctx_len)
+    flops = per_head * spec.n_heads * spec.n_layers
+    rate = replica.fp16_tflops * 1e12 * calib.vector_tflops_fraction
+    return flops / rate

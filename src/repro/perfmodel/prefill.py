@@ -1,0 +1,100 @@
+"""Prefill-stage timing model (compute-bound roofline).
+
+Prefill cost splits into the dense linear layers (projections, MLP,
+embeddings — ``2·P·L`` flops at ``linear_mfu`` of FP16 peak) and the
+quadratic attention term (``2·L²·H·d·layers`` causal flops at the much
+lower ``attention_mfu``).  HACK accelerates only the attention term:
+the two matmuls run on INT8 tensor cores (where present) with the
+additional fused-quantization gain, derated by the partition-size
+efficiency (§6 kernel; Table 8 sensitivity).
+
+Quantized methods additionally pay a one-time KV quantization pass,
+modelled as memory traffic over the prefill replica's HBM (the paper
+measures it at 1.25–2.91% of JCT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.parallelism import ReplicaResources
+from ..methods.base import FP16_BYTES, Method
+from ..model.config import ModelSpec
+from .calibration import Calibration, DEFAULT_CALIBRATION
+
+__all__ = ["PrefillBreakdown", "prefill_time", "attention_rate_tflops"]
+
+
+@dataclass(frozen=True)
+class PrefillBreakdown:
+    """Seconds spent in each prefill component."""
+
+    linear_s: float
+    attention_s: float
+    quantize_s: float
+
+    @property
+    def compute_s(self) -> float:
+        """Prefill compute (what the paper's 'Prefill' bucket reports)."""
+        return self.linear_s + self.attention_s
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.quantize_s
+
+
+def attention_rate_tflops(replica: ReplicaResources, method: Method,
+                          calib: Calibration) -> float:
+    """Effective attention-matmul throughput for ``method`` on ``replica``.
+
+    HACK uses the INT8 path when the GPU has one (everything except
+    V100), scaled by the fused-kernel partition efficiency.  The §3
+    FP8 simulation halves matmul time.  Everything else runs FP16.
+    """
+    base = replica.fp16_tflops * calib.attention_mfu
+    if method.int8_attention and replica.supports_int8:
+        gain = calib.int8_attention_gain * method.int_compute_gain
+        eff = calib.partition_efficiency(method.partition_size)
+        return base * gain * eff
+    if method.int8_attention:
+        # V100: no INT8 tensor cores — the quantized matmul runs at the
+        # FP16 rate, neither accelerated nor penalized (§7.2: "unable
+        # to accelerate prefill computation").
+        return base
+    if method.fp8_attention_sim:
+        return base * calib.fp8_sim_attention_speedup
+    return base
+
+
+def prefill_time(
+    spec: ModelSpec,
+    replica: ReplicaResources,
+    prompt_len: int,
+    method: Method,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> PrefillBreakdown:
+    """Prefill timing for one request of ``prompt_len`` tokens."""
+    if prompt_len < 1:
+        raise ValueError(f"prompt_len must be >= 1, got {prompt_len}")
+
+    pp_eff = calib.pp_efficiency if replica.parallelism.pp > 1 else 1.0
+
+    linear_flops = 2.0 * spec.n_params * prompt_len
+    linear_rate = replica.fp16_tflops * 1e12 * calib.linear_mfu * pp_eff
+    linear_s = linear_flops / linear_rate
+
+    # Causal attention: L²/2 positions, two matmuls, all query heads.
+    attn_flops = (
+        2.0 * prompt_len ** 2 * spec.n_heads * spec.head_dim * spec.n_layers
+    )
+    attn_rate = attention_rate_tflops(replica, method, calib) * 1e12 * pp_eff
+    attention_s = attn_flops / attn_rate
+
+    quantize_s = 0.0
+    if method.quantize_cost:
+        kv_fp16_bytes = prompt_len * spec.kv_bytes_per_token(FP16_BYTES)
+        traffic = kv_fp16_bytes * calib.quantize_traffic_factor
+        quantize_s = traffic / (replica.mem_bw_gbps * 1e9 * calib.stream_bw_eff)
+
+    return PrefillBreakdown(linear_s=linear_s, attention_s=attention_s,
+                            quantize_s=quantize_s)

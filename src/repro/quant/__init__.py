@@ -1,0 +1,42 @@
+"""Comparator KV compressors: CacheGen-like, KVQuant-like, FP4/6/8.
+
+All implement the :class:`~repro.quant.base.KVCompressor` interface so
+the accuracy harness and performance model treat every method
+uniformly.  HACK's own quantizer is adapted to the same interface in
+:mod:`repro.quant.hack_adapter`.
+"""
+
+from .base import CompressedKV, KVCompressor, compression_ratio
+from .cachegen import CacheGenCompressor
+from .fp_formats import (
+    FP4_E2M1,
+    FP6_E3M2,
+    FP8_E4M3,
+    FpCastCompressor,
+    MiniFloatFormat,
+    cast,
+    decode,
+    encode,
+    representable_values,
+)
+from .hack_adapter import HackCompressor
+from .kvquant import KVQuantCompressor, kmeans_1d
+
+__all__ = [
+    "CompressedKV",
+    "KVCompressor",
+    "compression_ratio",
+    "CacheGenCompressor",
+    "KVQuantCompressor",
+    "HackCompressor",
+    "kmeans_1d",
+    "MiniFloatFormat",
+    "FP4_E2M1",
+    "FP6_E3M2",
+    "FP8_E4M3",
+    "FpCastCompressor",
+    "representable_values",
+    "encode",
+    "decode",
+    "cast",
+]

@@ -1,0 +1,80 @@
+"""Compressor interface shared by the comparator KV codecs.
+
+A :class:`KVCompressor` works on a single KV plane — a ``(tokens,
+channels)`` float matrix, one per (layer, K-or-V).  ``compress`` returns
+a :class:`CompressedKV` carrying everything the decoder needs plus an
+exact byte count (the quantity the network model charges); ``decompress``
+reconstructs the approximate plane.
+
+The two comparators (CacheGen-like and KVQuant-like) and the FP-format
+casts all implement this interface, so the accuracy harness and the
+performance model treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["CompressedKV", "KVCompressor", "compression_ratio"]
+
+_FP16_BYTES = 2
+
+
+@dataclass
+class CompressedKV:
+    """Opaque compressed payload plus exact size accounting."""
+
+    method: str
+    shape: tuple[int, int]
+    nbytes: int
+    payload: dict[str, Any]
+
+    @property
+    def n_elements(self) -> int:
+        return self.shape[0] * self.shape[1]
+
+    def fp16_nbytes(self) -> int:
+        """Size of the uncompressed FP16 plane."""
+        return self.n_elements * _FP16_BYTES
+
+    def ratio(self) -> float:
+        """Compression rate in [0, 1): 0.86 means 86% smaller than FP16."""
+        return 1.0 - self.nbytes / self.fp16_nbytes()
+
+
+class KVCompressor(abc.ABC):
+    """Interface for KV-plane compressors."""
+
+    #: Short identifier used in reports and method registries.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compress(self, plane: np.ndarray) -> CompressedKV:
+        """Compress one ``(tokens, channels)`` KV plane."""
+
+    @abc.abstractmethod
+    def decompress(self, compressed: CompressedKV) -> np.ndarray:
+        """Reconstruct the approximate plane."""
+
+    def roundtrip(self, plane: np.ndarray) -> tuple[np.ndarray, CompressedKV]:
+        """Convenience: compress then decompress, returning both."""
+        compressed = self.compress(plane)
+        return self.decompress(compressed), compressed
+
+    def _check_plane(self, plane: np.ndarray) -> np.ndarray:
+        plane = np.asarray(plane, dtype=np.float64)
+        if plane.ndim != 2 or plane.size == 0:
+            raise ValueError(
+                f"expected a non-empty (tokens, channels) matrix, got shape "
+                f"{plane.shape}"
+            )
+        return plane
+
+
+def compression_ratio(compressor: KVCompressor, plane: np.ndarray) -> float:
+    """Measured compression rate of ``compressor`` on ``plane``."""
+    return compressor.compress(plane).ratio()

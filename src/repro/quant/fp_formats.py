@@ -1,0 +1,179 @@
+"""Software FP4 / FP6 / FP8 minifloat formats (paper §3).
+
+The paper's §3 measures how far low-precision floating-point KV storage
+can go: FP4 (E2M1), FP6 (E3M2) and FP8 (E4M3) cut the KV size but cap
+out at ~73% compression (with MX-style shared block scales) versus the
+~86% of the 2-bit integer schemes, so communication and memory-access
+overheads remain substantial.  The paper also notes that pre-H100 GPUs
+must up-convert these formats to FP16 before computing.
+
+This module implements the formats in software:
+
+* :class:`MiniFloatFormat` — a (sign, exponent, mantissa) layout with
+  IEEE-style subnormals and round-to-nearest-even on the value grid;
+* :func:`encode` / :func:`decode` — value ↔ bit-pattern conversion;
+* :class:`FpCastCompressor` — the :class:`KVCompressor` adapter, with
+  optional OCP-MX shared power-of-two block scales (one E8M0 scale byte
+  per ``block_size`` elements), matching how FP4/FP6 KV storage is
+  deployed in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .base import CompressedKV, KVCompressor
+
+__all__ = [
+    "MiniFloatFormat",
+    "FP4_E2M1",
+    "FP6_E3M2",
+    "FP8_E4M3",
+    "representable_values",
+    "encode",
+    "decode",
+    "cast",
+    "FpCastCompressor",
+]
+
+_FP16_BYTES = 2
+
+
+@dataclass(frozen=True)
+class MiniFloatFormat:
+    """A small floating-point layout: 1 sign, ``exp_bits``, ``man_bits``."""
+
+    name: str
+    exp_bits: int
+    man_bits: int
+
+    @property
+    def bits(self) -> int:
+        return 1 + self.exp_bits + self.man_bits
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite magnitude (no inf/nan codes, as in E4M3-style)."""
+        return float(representable_values(self).max())
+
+
+FP4_E2M1 = MiniFloatFormat("fp4_e2m1", exp_bits=2, man_bits=1)
+FP6_E3M2 = MiniFloatFormat("fp6_e3m2", exp_bits=3, man_bits=2)
+FP8_E4M3 = MiniFloatFormat("fp8_e4m3", exp_bits=4, man_bits=3)
+
+
+@lru_cache(maxsize=None)
+def representable_values(fmt: MiniFloatFormat) -> np.ndarray:
+    """All values the format can represent, sorted ascending.
+
+    All exponent codes are treated as finite (the "FN" convention used
+    by ML formats like E4M3FN); subnormals use exponent code 0.
+    """
+    magnitudes = []
+    for exp_code in range(1 << fmt.exp_bits):
+        for man_code in range(1 << fmt.man_bits):
+            if exp_code == 0:  # subnormal
+                mag = man_code / (1 << fmt.man_bits) * 2.0 ** (1 - fmt.bias)
+            else:
+                mag = (1 + man_code / (1 << fmt.man_bits)) * 2.0 ** (
+                    exp_code - fmt.bias
+                )
+            magnitudes.append(mag)
+    values = sorted(set([-m for m in magnitudes] + magnitudes))
+    return np.array(values)
+
+
+def encode(x: np.ndarray, fmt: MiniFloatFormat) -> np.ndarray:
+    """Round each value to the nearest representable and return grid indices.
+
+    Values beyond the largest finite magnitude saturate; exact midpoints
+    between grid points round toward the smaller index, which on this
+    symmetric grid alternates rounding direction like round-to-even.
+    """
+    grid = representable_values(fmt)
+    x = np.clip(np.asarray(x, dtype=np.float64), grid[0], grid[-1])
+    idx = np.searchsorted(grid, x)
+    idx = np.clip(idx, 1, grid.size - 1)
+    left_closer = (x - grid[idx - 1]) <= (grid[idx] - x)
+    return np.where(left_closer, idx - 1, idx).astype(np.uint8)
+
+
+def decode(codes: np.ndarray, fmt: MiniFloatFormat) -> np.ndarray:
+    """Map grid indices back to values."""
+    grid = representable_values(fmt)
+    codes = np.asarray(codes)
+    if codes.size and (codes.min() < 0 or codes.max() >= grid.size):
+        raise ValueError(f"code out of range for {fmt.name}")
+    return grid[codes]
+
+
+def cast(x: np.ndarray, fmt: MiniFloatFormat) -> np.ndarray:
+    """Round-trip ``x`` through the format (the usual 'cast to FP4' op)."""
+    return decode(encode(x, fmt), fmt)
+
+
+class FpCastCompressor(KVCompressor):
+    """KV compressor that stores planes in a minifloat format.
+
+    With ``shared_block_scale`` (default), each block of ``block_size``
+    elements along the channel axis shares a power-of-two scale chosen
+    so the block's maximum lands at the format's maximum — the OCP MX
+    convention.  One scale byte (E8M0) is charged per block.
+    """
+
+    def __init__(self, fmt: MiniFloatFormat, block_size: int = 32,
+                 shared_block_scale: bool = True) -> None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.fmt = fmt
+        self.block_size = block_size
+        self.shared_block_scale = shared_block_scale
+        self.name = fmt.name
+
+    def compress(self, plane: np.ndarray) -> CompressedKV:
+        plane = self._check_plane(plane)
+        n_tokens, n_channels = plane.shape
+        if self.shared_block_scale:
+            scales = self._block_scales(plane)
+            scaled = plane / np.repeat(scales, self.block_size, axis=1)[
+                :, :n_channels
+            ]
+        else:
+            scales = None
+            scaled = plane
+        codes = encode(scaled, self.fmt)
+        nbytes = plane.size * self.fmt.bits // 8
+        if scales is not None:
+            nbytes += scales.size  # one E8M0 byte per block
+        payload = {"codes": codes, "scales": scales}
+        return CompressedKV(self.name, plane.shape, nbytes, payload)
+
+    def decompress(self, compressed: CompressedKV) -> np.ndarray:
+        codes = compressed.payload["codes"]
+        out = decode(codes, self.fmt)
+        scales = compressed.payload["scales"]
+        if scales is not None:
+            n_channels = compressed.shape[1]
+            out = out * np.repeat(scales, self.block_size, axis=1)[:, :n_channels]
+        return out
+
+    def _block_scales(self, plane: np.ndarray) -> np.ndarray:
+        """Per-(token, channel-block) power-of-two scales, MX style."""
+        n_tokens, n_channels = plane.shape
+        n_blocks = (n_channels + self.block_size - 1) // self.block_size
+        scales = np.ones((n_tokens, n_blocks))
+        for b in range(n_blocks):
+            lo, hi = b * self.block_size, min((b + 1) * self.block_size, n_channels)
+            mag = np.abs(plane[:, lo:hi]).max(axis=1)
+            with np.errstate(divide="ignore"):
+                exp = np.ceil(np.log2(mag / self.fmt.max_value))
+            exp = np.where(np.isfinite(exp), exp, 0.0)
+            scales[:, b] = 2.0 ** exp
+        return scales

@@ -1,0 +1,62 @@
+"""HACK's own quantizer exposed through the compressor interface.
+
+This lets the accuracy harness and the compression-ratio accounting
+treat HACK uniformly with CacheGen/KVQuant/FPx: K planes are quantized
+per-token along the channel axis (how the KV cache stores K), V planes
+per-block along the token axis (how it stores V).  The ``nbytes``
+includes the SE sum storage, matching what actually crosses the wire
+and sits in the decode GPU's cache (§5.1 step 7 sends K', V', m and s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.quantize import dequantize, quantize
+from .base import CompressedKV, KVCompressor
+
+__all__ = ["HackCompressor"]
+
+
+class HackCompressor(KVCompressor):
+    """Partitioned asymmetric 2-bit quantizer as a KV-plane compressor.
+
+    Parameters
+    ----------
+    partition_size:
+        Π (64 by default, the paper's evaluation setting).
+    bits:
+        Code width (2 in the paper).
+    plane_kind:
+        ``"k"`` — partitions along channels (head dim), per token;
+        ``"v"`` — partitions along tokens (sequence dim), per channel.
+    include_sums:
+        Charge the SE sum storage in ``nbytes``.
+    """
+
+    name = "hack"
+
+    def __init__(self, partition_size: int = 64, bits: int = 2,
+                 plane_kind: str = "k", include_sums: bool = True,
+                 rounding: str = "stochastic", seed: int = 0) -> None:
+        if plane_kind not in ("k", "v"):
+            raise ValueError(f"plane_kind must be 'k' or 'v', got {plane_kind!r}")
+        self.partition_size = partition_size
+        self.bits = bits
+        self.plane_kind = plane_kind
+        self.include_sums = include_sums
+        self.rounding = rounding
+        self.seed = seed
+
+    def compress(self, plane: np.ndarray) -> CompressedKV:
+        plane = self._check_plane(plane)
+        axis = 1 if self.plane_kind == "k" else 0
+        rng = np.random.default_rng(self.seed)
+        qt = quantize(plane, self.bits, axis=axis,
+                      partition_size=self.partition_size, rng=rng,
+                      rounding=self.rounding)
+        nbytes = qt.total_nbytes(with_sums=self.include_sums)
+        return CompressedKV(self.name, plane.shape, nbytes, {"qt": qt})
+
+    def decompress(self, compressed: CompressedKV) -> np.ndarray:
+        return dequantize(compressed.payload["qt"])

@@ -1,0 +1,143 @@
+"""KV cache that stores compressor-roundtripped values (comparator path).
+
+This adapts any :class:`~repro.quant.base.KVCompressor` to the decode
+cache interface used by :class:`repro.model.transformer.Transformer`,
+modelling how CacheGen/KVQuant-style systems behave end to end:
+
+* prefill K/V planes are compressed once (the network handoff) and the
+  decode instance works with the *reconstructed* values;
+* decode-time tokens are buffered in FP16 and compressed in groups of
+  ``group_size`` tokens (the KIVI/KVQuant deployment pattern — single
+  tokens carry no group statistics to quantize against);
+* every ``attention`` call charges the full-cache dequantization cost,
+  the overhead these systems pay per decode iteration (§2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import costs
+from ..core.attention import softmax
+from ..core.kv_cache import CacheLedger
+from .base import KVCompressor
+
+__all__ = ["RoundtripKVCache"]
+
+_FP16_BYTES = 2
+
+
+class RoundtripKVCache:
+    """Decode cache backed by a pair of plane compressors.
+
+    Parameters
+    ----------
+    head_dim:
+        Per-head channel count.
+    k_compressor, v_compressor:
+        Compressors for K and V planes (may be the same object).
+    group_size:
+        Decode tokens buffered before being compressed as a plane.
+    """
+
+    def __init__(self, head_dim: int, k_compressor: KVCompressor,
+                 v_compressor: KVCompressor, group_size: int = 16) -> None:
+        if head_dim <= 0:
+            raise ValueError(f"head_dim must be positive, got {head_dim}")
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        self.head_dim = head_dim
+        self.k_compressor = k_compressor
+        self.v_compressor = v_compressor
+        self.group_size = group_size
+        self.ledger = CacheLedger()
+        self._k_hat: list[np.ndarray] = []   # reconstructed planes
+        self._v_hat: list[np.ndarray] = []
+        self._pending_k: list[np.ndarray] = []
+        self._pending_v: list[np.ndarray] = []
+        self._compressed_nbytes = 0
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    # -- appends -------------------------------------------------------------
+
+    def append(self, k_vec: np.ndarray, v_vec: np.ndarray) -> None:
+        """Buffer one token; compress the buffer when the group fills."""
+        k_vec = self._check(k_vec)
+        v_vec = self._check(v_vec)
+        self._pending_k.append(k_vec)
+        self._pending_v.append(v_vec)
+        self._length += 1
+        if len(self._pending_k) >= self.group_size:
+            self._flush()
+
+    def append_bulk(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Compress a whole plane at once (the prefill handoff)."""
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        if k.shape != v.shape or k.ndim != 2 or k.shape[1] != self.head_dim:
+            raise ValueError(
+                f"k and v must both be (L, {self.head_dim}), got "
+                f"{k.shape} and {v.shape}"
+            )
+        if k.shape[0] == 0:
+            return
+        k_hat, k_comp = self.k_compressor.roundtrip(k)
+        v_hat, v_comp = self.v_compressor.roundtrip(v)
+        self._k_hat.append(k_hat)
+        self._v_hat.append(v_hat)
+        self._compressed_nbytes += k_comp.nbytes + v_comp.nbytes
+        self.ledger.quant_flops += costs.quantize_flops(k.size + v.size)
+        self._length += k.shape[0]
+
+    def _flush(self) -> None:
+        self.append_bulk(np.array(self._pending_k), np.array(self._pending_v))
+        self._length -= len(self._pending_k)  # append_bulk re-counted them
+        self._pending_k = []
+        self._pending_v = []
+
+    # -- attention -------------------------------------------------------------
+
+    def attention(self, q_vec: np.ndarray) -> np.ndarray:
+        """Dequantize the whole cache, then exact FP attention."""
+        if not self._length:
+            raise ValueError("attention on an empty cache")
+        q = self._check(q_vec)[None, :]
+        k, v = self.materialize()
+        self.ledger.dequant_flops += costs.kv_dequant_flops_per_iter(
+            self.head_dim, self._length
+        )
+        scores = (q @ k.T) / np.sqrt(self.head_dim)
+        probs = softmax(scores, axis=-1)
+        out = probs @ v
+        self.ledger.fp_matmul_flops += costs.attention_flops(
+            1, self._length, self.head_dim
+        )
+        self.ledger.decode_iterations += 1
+        return out[0]
+
+    def materialize(self) -> tuple[np.ndarray, np.ndarray]:
+        """Reconstructed (K̂, V̂) including the FP16 pending buffer."""
+        k_parts = list(self._k_hat)
+        v_parts = list(self._v_hat)
+        if self._pending_k:
+            k_parts.append(np.array(self._pending_k))
+            v_parts.append(np.array(self._pending_v))
+        return np.concatenate(k_parts, axis=0), np.concatenate(v_parts, axis=0)
+
+    # -- accounting -------------------------------------------------------------
+
+    def kv_nbytes(self) -> int:
+        """Compressed bytes plus the FP16 pending buffer."""
+        pending = 2 * len(self._pending_k) * self.head_dim * _FP16_BYTES
+        return self._compressed_nbytes + pending
+
+    def _check(self, vec: np.ndarray) -> np.ndarray:
+        vec = np.asarray(vec, dtype=np.float64)
+        if vec.shape != (self.head_dim,):
+            raise ValueError(
+                f"expected shape ({self.head_dim},), got {vec.shape}"
+            )
+        return vec

@@ -1,0 +1,24 @@
+"""Discrete-event serving simulator for disaggregated LLM inference."""
+
+from .capacity import capacity_rps, experiment_rps, stage_capacities
+from .engine import (
+    ClusterConfig,
+    SimulationResult,
+    Simulator,
+    default_cluster,
+    simulate,
+)
+from .request import BUCKETS, SimRequest
+
+__all__ = [
+    "ClusterConfig",
+    "SimulationResult",
+    "Simulator",
+    "default_cluster",
+    "simulate",
+    "SimRequest",
+    "BUCKETS",
+    "capacity_rps",
+    "experiment_rps",
+    "stage_capacities",
+]

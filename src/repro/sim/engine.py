@@ -1,0 +1,444 @@
+"""Discrete-event simulator of disaggregated LLM serving (§7.1 setup).
+
+Faithfully implements the paper's serving policy:
+
+* requests arrive (Poisson trace) and are dispatched to the prefill
+  replica with the shortest queue in tokens [SplitWise];
+* a prefill replica serves one request at a time (long-prompt prefill
+  saturates the replica's compute);
+* finished KV is shipped to the decode replica with the shortest queue
+  *that has enough free memory for the request's full context*; when no
+  replica has room, the KV is swapped to prefill CPU memory [DéjàVu]
+  and transferred once memory frees (§5.1 step 6) — each prefill
+  replica's NIC serializes its outgoing transfers;
+* decode replicas run continuous batching: each iteration produces one
+  token per active request, with latency from
+  :func:`repro.perfmodel.decode.iteration_latency`; requests join at
+  iteration boundaries and leave when their output length is reached;
+* optional layer-wise pipelining overlaps a request's KV transfer with
+  its own prefill (§2.1, Fig. 1(d)) — infeasible for swapped requests.
+
+Per-iteration wall-clock is attributed to the Fig. 10 buckets
+proportionally to the batch's component sums, so a request's "dequant"
+share reflects the dequantization phases it actually waits through.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..cluster.instances import DEFAULT_DECODE_COUNT, DEFAULT_PREFILL_FLEETS, \
+    instance_for_gpu
+from ..cluster.parallelism import ReplicaResources, replica_resources
+from ..methods.base import Method
+from ..model.config import ModelSpec
+from ..perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from ..perfmodel.decode import iteration_latency
+from ..perfmodel.prefill import prefill_time
+from ..perfmodel.transfer import kv_wire_bytes, make_network_model
+from ..workload.traces import TraceRequest
+from .request import SimRequest
+
+__all__ = ["ClusterConfig", "SimulationResult", "Simulator", "simulate",
+           "default_cluster"]
+
+_GB = 1e9
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated deployment."""
+
+    model: ModelSpec
+    method: Method
+    prefill_gpu: str
+    n_prefill_replicas: int
+    n_decode_replicas: int
+    calib: Calibration = DEFAULT_CALIBRATION
+    pipelining: bool = False
+    decode_gpu: str = "A100"
+    #: Activation/workspace reservation as a fraction of parameter
+    #: bytes.  Serving engines preallocate activation buffers, CUDA
+    #: graphs and scratch alongside the weights; ~45% of parameter
+    #: bytes reproduces Table 5's ~65% idle floor on the decode GPUs.
+    activation_overhead: float = 0.45
+    mem_reserve_fraction: float = 0.03
+    #: Prompt tokens a prefill replica batches into one forward pass
+    #: (vLLM's batched prefill).  Long prompts run alone; short prompts
+    #: share a pass, which is what gives short-prompt datasets their
+    #: high prefill throughput.
+    prefill_token_budget: int = 16384
+    #: Granularity of transfer/compute overlap under pipelining: KV is
+    #: shipped per pipeline stage, not per layer, so roughly 1/8 of the
+    #: transfer stays exposed even under perfect overlap.
+    pipeline_stages: int = 8
+
+    def prefill_replica(self) -> ReplicaResources:
+        return replica_resources(self.model, self.prefill_gpu)
+
+    def decode_replica(self) -> ReplicaResources:
+        return replica_resources(self.model, self.decode_gpu)
+
+
+def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
+                    calib: Calibration = DEFAULT_CALIBRATION,
+                    pipelining: bool = False,
+                    n_prefill_instances: int | None = None,
+                    n_decode_instances: int = DEFAULT_DECODE_COUNT,
+                    ) -> ClusterConfig:
+    """The paper's §7.1 deployment for ``model`` on ``prefill_gpu``.
+
+    Replica counts derive from the instance fleets (e.g. ten
+    g5.12xlarge = 40 A10G = 5 Llama-70B replicas at TP4·PP2) and two
+    p4de.24xlarge for decode.
+    """
+    gpu = prefill_gpu.upper()
+    if n_prefill_instances is None:
+        n_prefill_instances = DEFAULT_PREFILL_FLEETS[gpu]
+    pre = replica_resources(model, gpu)
+    inst = instance_for_gpu(gpu)
+    n_prefill = max(1, n_prefill_instances * inst.n_gpus
+                    // pre.parallelism.n_gpus)
+    dec = replica_resources(model, "A100")
+    dec_inst = instance_for_gpu("A100")
+    n_decode = max(1, n_decode_instances * dec_inst.n_gpus
+                   // dec.parallelism.n_gpus)
+    return ClusterConfig(model=model, method=method, prefill_gpu=gpu,
+                         n_prefill_replicas=n_prefill,
+                         n_decode_replicas=n_decode, calib=calib,
+                         pipelining=pipelining)
+
+
+@dataclass
+class _PrefillReplica:
+    queue: deque = field(default_factory=deque)
+    queued_tokens: int = 0
+    current: SimRequest | None = None
+    nic_free_at: float = 0.0
+    assigned: int = 0
+
+
+@dataclass
+class _DecodeReplica:
+    capacity_bytes: float
+    base_bytes: float              # params + activations
+    used_bytes: float = 0.0
+    peak_bytes: float = 0.0
+    active: list = field(default_factory=list)   # [request, remaining]
+    queued_tokens: int = 0
+    iteration_scheduled: bool = False
+    assigned: int = 0
+
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.used_bytes
+
+    def usage_fraction(self, total_gb: float) -> float:
+        return (self.base_bytes + self.used_bytes) / (total_gb * _GB)
+
+
+@dataclass
+class SimulationResult:
+    """Finished requests plus cluster-level statistics."""
+
+    requests: list[SimRequest]
+    peak_memory_fraction: float
+    n_swapped: int
+    config: ClusterConfig
+
+    def avg_jct(self) -> float:
+        """Mean job completion time across all requests (Fig. 9 metric)."""
+        return sum(r.jct for r in self.requests) / len(self.requests)
+
+    def mean_decomposition(self) -> dict[str, float]:
+        """Mean seconds per bucket (Fig. 10 bars)."""
+        keys = self.requests[0].decomposition().keys()
+        n = len(self.requests)
+        return {
+            k: sum(r.decomposition()[k] for r in self.requests) / n
+            for k in keys
+        }
+
+    def mean_ratios(self, include_queue: bool = False) -> dict[str, float]:
+        """Mean per-request bucket ratios (the Fig. 1–4 metric)."""
+        ratio_dicts = [r.ratios(include_queue) for r in self.requests]
+        keys = ratio_dicts[0].keys()
+        n = len(ratio_dicts)
+        return {k: sum(d[k] for d in ratio_dicts) / n for k in keys}
+
+    def mean_kv_access_ratio(self) -> float:
+        """KV HBM read time as a fraction of JCT (§2.1's 16–33% metric)."""
+        return sum(r.kv_access_s / r.jct for r in self.requests) / len(
+            self.requests
+        )
+
+
+class Simulator:
+    """Event-driven simulation of one cluster serving one trace."""
+
+    def __init__(self, config: ClusterConfig, trace: list[TraceRequest]) -> None:
+        if not trace:
+            raise ValueError("trace must contain at least one request")
+        self.config = config
+        self.trace = trace
+        self.calib = config.calib
+        self.spec = config.model
+        self.method = config.method
+        self.pre_res = config.prefill_replica()
+        self.dec_res = config.decode_replica()
+        self.net = make_network_model(self.calib)
+
+        self._events: list = []
+        self._seq = itertools.count()
+        self._prefill = [_PrefillReplica()
+                         for _ in range(config.n_prefill_replicas)]
+        params = self.spec.param_bytes()
+        base = params * (1.0 + config.activation_overhead)
+        capacity = (self.dec_res.mem_gb * _GB
+                    * (1.0 - config.mem_reserve_fraction) - base)
+        if capacity <= 0:
+            raise ValueError(
+                f"decode replica memory too small for {self.spec.name}"
+            )
+        self._decode = [
+            _DecodeReplica(capacity_bytes=capacity, base_bytes=base)
+            for _ in range(config.n_decode_replicas)
+        ]
+        self._pending_swap: deque = deque()
+        self._finished: list[SimRequest] = []
+        self._n_swapped = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run to completion and return the results."""
+        for tr in self.trace:
+            self._push(tr.arrival_s, "arrival", SimRequest(trace=tr))
+        while self._events:
+            time, _, kind, payload = heapq.heappop(self._events)
+            getattr(self, f"_on_{kind}")(time, payload)
+        peak = max(
+            (d.peak_bytes + d.base_bytes) / (self.dec_res.mem_gb * _GB)
+            for d in self._decode
+        )
+        self._finished.sort(key=lambda r: r.request_id)
+        return SimulationResult(requests=self._finished,
+                                peak_memory_fraction=peak,
+                                n_swapped=self._n_swapped,
+                                config=self.config)
+
+    # -- event handlers --------------------------------------------------------
+
+    def _on_arrival(self, now: float, req: SimRequest) -> None:
+        # Shortest queue in tokens (the SplitWise policy); ties broken
+        # by NIC backlog, then by assignment count, so idle replicas
+        # share load instead of everything funnelling to replica 0.
+        def load(i: int):
+            replica = self._prefill[i]
+            return (replica.queued_tokens,
+                    max(0.0, replica.nic_free_at - now),
+                    replica.assigned)
+
+        idx = min(range(len(self._prefill)), key=load)
+        replica = self._prefill[idx]
+        req.prefill_replica = idx
+        replica.queued_tokens += req.trace.input_len
+        replica.assigned += 1
+        replica.queue.append(req)
+        if replica.current is None:
+            self._start_prefill(now, idx)
+
+    def _start_prefill(self, now: float, idx: int) -> None:
+        """Serve a batch of queued prompts in one forward pass.
+
+        Requests are taken FIFO while their summed prompt length fits
+        the token budget (a long prompt always runs alone).  The pass
+        costs the linear-layer time of the *summed* tokens plus each
+        request's own quadratic attention term — the vLLM batched-
+        prefill cost model.
+        """
+        replica = self._prefill[idx]
+        batch = [replica.queue.popleft()]
+        total_tokens = batch[0].trace.input_len
+        budget = self.config.prefill_token_budget
+        while replica.queue and (
+            total_tokens + replica.queue[0].trace.input_len <= budget
+        ):
+            nxt = replica.queue.popleft()
+            batch.append(nxt)
+            total_tokens += nxt.trace.input_len
+
+        replica.current = batch
+        joint = prefill_time(self.spec, self.pre_res, total_tokens,
+                             self.method, self.calib)
+        per_request = [
+            prefill_time(self.spec, self.pre_res, req.trace.input_len,
+                         self.method, self.calib)
+            for req in batch
+        ]
+        batch_s = (joint.linear_s + joint.quantize_s
+                   + sum(b.attention_s for b in per_request))
+        for req, own in zip(batch, per_request):
+            req.prefill_start = now
+            # Each request experiences the whole pass; the quantization
+            # share is its own (it is per-token work).
+            req.prefill_s = batch_s - own.quantize_s
+            req.quant_s = own.quantize_s
+        self._push(now + batch_s, "prefill_done", (idx, batch))
+
+    def _on_prefill_done(self, now: float, payload) -> None:
+        idx, batch = payload
+        replica = self._prefill[idx]
+        replica.current = None
+        for req in batch:
+            replica.queued_tokens -= req.trace.input_len
+            req.prefill_end = now
+        if replica.queue:
+            self._start_prefill(now, idx)
+        for req in batch:
+            self._dispatch_to_decode(now, req)
+
+    def _dispatch_to_decode(self, now: float, req: SimRequest) -> None:
+        reserve = self._request_bytes(req)
+        candidates = [i for i, d in enumerate(self._decode)
+                      if d.free_bytes() >= reserve]
+        if not candidates:
+            # §5.1 step 6: stage the quantized KV in prefill CPU memory.
+            req.swapped = True
+            self._n_swapped += 1
+            self._pending_swap.append(req)
+            return
+        target = min(candidates,
+                     key=lambda i: (self._decode[i].queued_tokens,
+                                    self._decode[i].assigned))
+        self._begin_transfer(now, req, target)
+
+    def _begin_transfer(self, now: float, req: SimRequest, target: int) -> None:
+        decode = self._decode[target]
+        reserve = self._request_bytes(req)
+        decode.used_bytes += reserve
+        decode.peak_bytes = max(decode.peak_bytes, decode.used_bytes)
+        decode.queued_tokens += req.trace.total_len
+        decode.assigned += 1
+        req.decode_replica = target
+        req.reserved_bytes = reserve
+
+        nbytes = kv_wire_bytes(self.spec, self.method, req.trace.input_len)
+        nic = self._prefill[req.prefill_replica]
+        start = max(now, nic.nic_free_at)
+        # Time spent waiting for the replica's NIC is KV-transmission
+        # delay: it accrues to the comm bucket (this is what makes the
+        # comm ratio climb with RPS in Fig. 1(d)).
+        nic_wait = start - now
+        full = self.net.transfer_time(nbytes, self.pre_res.network_gbps,
+                                      self.dec_res.network_gbps,
+                                      via_cpu=req.swapped).seconds
+        nic.nic_free_at = start + full
+        if self.config.pipelining and not req.swapped:
+            exposed = self.net.pipelined_exposed_time(
+                nbytes, self.pre_res.network_gbps, self.dec_res.network_gbps,
+                compute_s=req.prefill_s,
+                n_stages=self.config.pipeline_stages,
+            )
+            # Overlapped portion hides inside prefill; only the exposed
+            # tail delays the request.
+            done = start + exposed
+            req.comm_s += nic_wait + exposed
+        else:
+            done = start + full
+            req.comm_s += nic_wait + full
+        self._push(done, "transfer_done", req)
+
+    def _on_transfer_done(self, now: float, req: SimRequest) -> None:
+        req.transfer_end = now
+        req.decode_start = now
+        decode = self._decode[req.decode_replica]
+        # The prefill stage already produced the first output token.
+        remaining = max(1, req.trace.output_len - 1)
+        decode.active.append([req, remaining])
+        if not decode.iteration_scheduled:
+            self._schedule_iteration(now, req.decode_replica)
+
+    def _schedule_iteration(self, now: float, idx: int) -> None:
+        decode = self._decode[idx]
+        if not decode.active:
+            decode.iteration_scheduled = False
+            return
+        ctxs = [entry[0].trace.input_len + entry[0].tokens_generated + 1
+                for entry in decode.active]
+        timing = iteration_latency(self.spec, self.dec_res, self.method,
+                                   ctxs, self.calib)
+        snapshot = list(decode.active)
+        decode.iteration_scheduled = True
+        self._push(now + timing.latency_s, "decode_iter",
+                   (idx, snapshot, timing))
+
+    def _on_decode_iter(self, now: float, payload) -> None:
+        idx, snapshot, timing = payload
+        decode = self._decode[idx]
+        latency = timing.latency_s
+
+        kv_sum = sum(c.kv_read_s for c in timing.per_request)
+        compute_sum = sum(c.compute_s for c in timing.per_request)
+        requant_sum = sum(c.requant_s for c in timing.per_request)
+        dequant_sum = sum(c.dequant_s for c in timing.per_request)
+        approx_sum = sum(c.approx_s for c in timing.per_request)
+        decode_share = timing.shared_s + kv_sum + compute_sum + requant_sum
+
+        finished_entries = []
+        for entry in snapshot:
+            req, _ = entry
+            req.decode_s += decode_share
+            req.dequant_s += dequant_sum
+            req.approx_s += approx_sum
+            req.kv_access_s += kv_sum
+            req.tokens_generated += 1
+            entry[1] -= 1
+            if entry[1] <= 0:
+                finished_entries.append(entry)
+
+        for entry in finished_entries:
+            req = entry[0]
+            req.finish = now
+            decode.active.remove(entry)
+            decode.used_bytes -= req.reserved_bytes
+            decode.queued_tokens -= req.trace.total_len
+            self._finished.append(req)
+        if finished_entries:
+            self._admit_pending(now)
+        self._schedule_iteration(now, idx)
+
+    def _admit_pending(self, now: float) -> None:
+        still_waiting: deque = deque()
+        while self._pending_swap:
+            req = self._pending_swap.popleft()
+            reserve = self._request_bytes(req)
+            candidates = [i for i, d in enumerate(self._decode)
+                          if d.free_bytes() >= reserve]
+            if candidates:
+                target = min(candidates,
+                             key=lambda i: (self._decode[i].queued_tokens,
+                                            self._decode[i].assigned))
+                self._begin_transfer(now, req, target)
+            else:
+                still_waiting.append(req)
+        self._pending_swap = still_waiting
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _request_bytes(self, req: SimRequest) -> float:
+        """Decode-memory reservation: KV for the request's full context."""
+        return req.trace.total_len * self.spec.kv_bytes_per_token(
+            self.method.kv_mem_bytes_per_value
+        )
+
+    def _push(self, time: float, kind: str, payload) -> None:
+        heapq.heappush(self._events, (time, next(self._seq), kind, payload))
+
+
+def simulate(config: ClusterConfig, trace: list[TraceRequest]) -> SimulationResult:
+    """Convenience: build a :class:`Simulator` and run it."""
+    return Simulator(config, trace).run()

@@ -1,0 +1,102 @@
+"""Request lifecycle bookkeeping for the serving simulator.
+
+A :class:`SimRequest` tracks one request from arrival to completion and
+accumulates the JCT decomposition the paper reports (Fig. 10): queueing,
+prefill compute, quantization, KV communication, decode, per-iteration
+dequantization (comparators) and Eq. 4 approximation (HACK), plus the
+KV-memory-access time inside decode (§2.1's 16–33% metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..workload.traces import TraceRequest
+
+__all__ = ["SimRequest", "BUCKETS"]
+
+#: Decomposition bucket names, in the paper's Fig. 10 order.
+BUCKETS = ("queue", "prefill", "quant", "comm", "dequant_or_approx", "decode")
+
+
+@dataclass
+class SimRequest:
+    """One in-flight request and its accumulated time decomposition."""
+
+    trace: TraceRequest
+    prefill_replica: int = -1
+    decode_replica: int = -1
+
+    # Timeline markers (absolute simulation seconds).
+    prefill_start: float = -1.0
+    prefill_end: float = -1.0
+    transfer_end: float = -1.0
+    decode_start: float = -1.0
+    finish: float = -1.0
+
+    # Accumulated buckets (seconds).
+    prefill_s: float = 0.0
+    quant_s: float = 0.0
+    comm_s: float = 0.0
+    decode_s: float = 0.0
+    dequant_s: float = 0.0
+    approx_s: float = 0.0
+    kv_access_s: float = 0.0   # subset of decode_s: KV reads over HBM
+
+    #: Whether the KV took the CPU-swap detour (§5.1 step 6).
+    swapped: bool = False
+    tokens_generated: int = 0
+    #: Decode-memory bytes reserved for this request.
+    reserved_bytes: float = 0.0
+
+    @property
+    def request_id(self) -> int:
+        return self.trace.request_id
+
+    @property
+    def arrival(self) -> float:
+        return self.trace.arrival_s
+
+    @property
+    def done(self) -> bool:
+        return self.finish >= 0.0
+
+    @property
+    def jct(self) -> float:
+        """Job completion time: arrival → last token."""
+        if not self.done:
+            raise ValueError(f"request {self.request_id} has not finished")
+        return self.finish - self.arrival
+
+    @property
+    def queue_s(self) -> float:
+        """Time not attributable to any processing bucket."""
+        busy = (self.prefill_s + self.quant_s + self.comm_s + self.decode_s
+                + self.dequant_s + self.approx_s)
+        return max(0.0, self.jct - busy)
+
+    def decomposition(self) -> dict[str, float]:
+        """Bucket → seconds (the Fig. 10 stacked bars)."""
+        return {
+            "queue": self.queue_s,
+            "prefill": self.prefill_s,
+            "quant": self.quant_s,
+            "comm": self.comm_s,
+            "dequant_or_approx": self.dequant_s + self.approx_s,
+            "decode": self.decode_s,
+        }
+
+    def ratios(self, include_queue: bool = False) -> dict[str, float]:
+        """Bucket → fraction.
+
+        With ``include_queue=False`` (the paper's Fig. 1–4 convention,
+        where stacked ratios fill to 100%), fractions are of the summed
+        processing buckets; otherwise of the full JCT.
+        """
+        decomp = self.decomposition()
+        if not include_queue:
+            del decomp["queue"]
+        total = sum(decomp.values())
+        if total <= 0:
+            return {k: 0.0 for k in decomp}
+        return {k: v / total for k, v in decomp.items()}

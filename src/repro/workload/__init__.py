@@ -1,0 +1,23 @@
+"""Workload substrate: dataset length models (Table 4) and traces."""
+
+from .datasets import (
+    DATASETS,
+    DatasetSpec,
+    LengthModel,
+    LONG_SEQUENCE_DATASETS,
+    SHORT_SEQUENCE_DATASETS,
+    get_dataset,
+)
+from .traces import TraceRequest, capped_trace, generate_trace
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "LengthModel",
+    "LONG_SEQUENCE_DATASETS",
+    "SHORT_SEQUENCE_DATASETS",
+    "get_dataset",
+    "TraceRequest",
+    "generate_trace",
+    "capped_trace",
+]

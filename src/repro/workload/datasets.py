@@ -1,0 +1,147 @@
+"""Dataset length models (paper Table 4).
+
+The paper's time results are driven by the input/output length
+distributions of four datasets; the text content itself never enters
+the timing path.  Each dataset is modelled as a clipped lognormal
+fitted so that the clipped mean matches the published average and the
+support matches the published min/max.
+
+======================  =======================  ======================
+dataset                 input len (avg/min/max)  output len (avg/min/max)
+======================  =======================  ======================
+IMDb classification     315 / 106 / 821          37 / 16 / 87
+arXiv summarization     6300 / 1600 / 14100      243 / 29 / 464
+Cocktail (IR)           16200 / 9400 / 28800     159 / 44 / 246
+HumanEval               204 / 75 / 697           139 / 11 / 552
+======================  =======================  ======================
+
+arXiv and Cocktail are the paper's "long-sequence" datasets; IMDb and
+HumanEval the "short-sequence" ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["LengthModel", "DatasetSpec", "DATASETS", "get_dataset",
+           "LONG_SEQUENCE_DATASETS", "SHORT_SEQUENCE_DATASETS"]
+
+
+@dataclass(frozen=True)
+class LengthModel:
+    """Clipped lognormal over integer sequence lengths."""
+
+    mean: float
+    minimum: int
+    maximum: int
+
+    def __post_init__(self) -> None:
+        if not self.minimum <= self.mean <= self.maximum:
+            raise ValueError(
+                f"mean {self.mean} outside [{self.minimum}, {self.maximum}]"
+            )
+        if self.minimum < 1:
+            raise ValueError("minimum length must be >= 1")
+
+    @property
+    def sigma(self) -> float:
+        """Lognormal shape: spreads the support over ~4 standard devs."""
+        return float(np.log(self.maximum / self.minimum) / 4.0)
+
+    def _mu(self) -> float:
+        return _fit_mu(self.mean, self.minimum, self.maximum, self.sigma)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` integer lengths."""
+        raw = rng.lognormal(mean=self._mu(), sigma=self.sigma, size=n)
+        return np.clip(np.round(raw), self.minimum, self.maximum).astype(np.int64)
+
+
+@lru_cache(maxsize=None)
+def _fit_mu(target_mean: float, lo: int, hi: int, sigma: float) -> float:
+    """Bisection on the lognormal location so the clipped mean matches.
+
+    Deterministic: uses a fixed quasi-random sample for the estimate.
+    """
+    rng = np.random.default_rng(12345)
+    normals = rng.standard_normal(20_000)
+
+    def clipped_mean(mu: float) -> float:
+        draws = np.exp(mu + sigma * normals)
+        return float(np.clip(draws, lo, hi).mean())
+
+    low, high = np.log(lo), np.log(hi)
+    for _ in range(60):
+        mid = 0.5 * (low + high)
+        if clipped_mean(mid) < target_mean:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One evaluation dataset: paired input/output length models."""
+
+    name: str
+    input_len: LengthModel
+    output_len: LengthModel
+    long_sequence: bool
+    accuracy_metric: str  # "classification", "rouge1", or "edit_sim"
+
+    def sample_request_lengths(
+        self, n: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` (input_len, output_len) pairs."""
+        return self.input_len.sample(n, rng), self.output_len.sample(n, rng)
+
+    def mean_total_len(self) -> float:
+        """Average final sequence length (prompt + generation)."""
+        return self.input_len.mean + self.output_len.mean
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "imdb": DatasetSpec(
+        name="imdb",
+        input_len=LengthModel(315, 106, 821),
+        output_len=LengthModel(37, 16, 87),
+        long_sequence=False,
+        accuracy_metric="classification",
+    ),
+    "arxiv": DatasetSpec(
+        name="arxiv",
+        input_len=LengthModel(6300, 1600, 14100),
+        output_len=LengthModel(243, 29, 464),
+        long_sequence=True,
+        accuracy_metric="rouge1",
+    ),
+    "cocktail": DatasetSpec(
+        name="cocktail",
+        input_len=LengthModel(16200, 9400, 28800),
+        output_len=LengthModel(159, 44, 246),
+        long_sequence=True,
+        accuracy_metric="classification",
+    ),
+    "humaneval": DatasetSpec(
+        name="humaneval",
+        input_len=LengthModel(204, 75, 697),
+        output_len=LengthModel(139, 11, 552),
+        long_sequence=False,
+        accuracy_metric="edit_sim",
+    ),
+}
+
+LONG_SEQUENCE_DATASETS = ("arxiv", "cocktail")
+SHORT_SEQUENCE_DATASETS = ("imdb", "humaneval")
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name (case-insensitive)."""
+    key = name.lower()
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(DATASETS)}")
+    return DATASETS[key]

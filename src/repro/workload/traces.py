@@ -1,0 +1,80 @@
+"""Request trace generation (§7.1: Poisson arrivals at a target RPS).
+
+A trace is a list of :class:`TraceRequest` — arrival time plus sampled
+input/output lengths — that the simulator replays.  Arrivals follow a
+Poisson process (exponential inter-arrival times), as in DistServe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .datasets import DatasetSpec, get_dataset
+
+__all__ = ["TraceRequest", "generate_trace", "capped_trace"]
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request of a workload trace."""
+
+    request_id: int
+    arrival_s: float
+    input_len: int
+    output_len: int
+
+    @property
+    def total_len(self) -> int:
+        return self.input_len + self.output_len
+
+
+def generate_trace(
+    dataset: str | DatasetSpec,
+    rps: float,
+    n_requests: int,
+    seed: int = 0,
+    max_context: int | None = None,
+) -> list[TraceRequest]:
+    """Sample a Poisson trace of ``n_requests`` from ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        Dataset name or spec (Table 4).
+    rps:
+        Mean arrival rate, requests per second.
+    n_requests:
+        Trace length.
+    seed:
+        Randomness seed; traces are fully deterministic given it.
+    max_context:
+        Optional model context cap: input lengths are clipped so
+        ``input + output <= max_context`` (how the paper runs Falcon's
+        2K window on the arXiv dataset).
+    """
+    if rps <= 0:
+        raise ValueError(f"rps must be positive, got {rps}")
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    spec = dataset if isinstance(dataset, DatasetSpec) else get_dataset(dataset)
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rps, size=n_requests)
+    arrivals = np.cumsum(gaps)
+    in_lens, out_lens = spec.sample_request_lengths(n_requests, rng)
+    if max_context is not None:
+        out_lens = np.minimum(out_lens, max_context - 1)
+        in_lens = np.minimum(in_lens, max_context - out_lens)
+    return [
+        TraceRequest(request_id=i, arrival_s=float(arrivals[i]),
+                     input_len=int(in_lens[i]), output_len=int(out_lens[i]))
+        for i in range(n_requests)
+    ]
+
+
+def capped_trace(dataset: str | DatasetSpec, rps: float, n_requests: int,
+                 model_max_context: int, seed: int = 0) -> list[TraceRequest]:
+    """Convenience wrapper: trace clipped to a model's context window."""
+    return generate_trace(dataset, rps, n_requests, seed=seed,
+                          max_context=model_max_context)

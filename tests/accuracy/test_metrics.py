@@ -1,0 +1,98 @@
+"""Tests for ROUGE-1 and edit similarity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accuracy import RougeScore, edit_similarity, levenshtein, rouge1
+
+
+class TestRouge1:
+    def test_identical(self):
+        score = rouge1("the cat sat".split(), "the cat sat".split())
+        assert score == RougeScore(1.0, 1.0, 1.0)
+
+    def test_disjoint(self):
+        score = rouge1(["a", "b"], ["c", "d"])
+        assert score.f1 == 0.0
+
+    def test_known_value(self):
+        # candidate: the cat / reference: the cat sat -> P=1, R=2/3.
+        score = rouge1(["the", "cat"], ["the", "cat", "sat"])
+        assert score.precision == pytest.approx(1.0)
+        assert score.recall == pytest.approx(2 / 3)
+        assert score.f1 == pytest.approx(0.8)
+
+    def test_clipped_counts(self):
+        """Repeats in the candidate don't inflate overlap."""
+        score = rouge1(["the", "the", "the"], ["the", "cat"])
+        assert score.precision == pytest.approx(1 / 3)
+        assert score.recall == pytest.approx(1 / 2)
+
+    def test_empty_cases(self):
+        assert rouge1([], []).f1 == 1.0
+        assert rouge1(["a"], []).f1 == 0.0
+        assert rouge1([], ["a"]).f1 == 0.0
+
+    def test_works_on_integers(self):
+        assert rouge1([1, 2, 3], [1, 2, 3]).f1 == 1.0
+
+    def test_order_invariant(self):
+        """ROUGE-1 is a bag-of-unigrams metric."""
+        assert rouge1([1, 2, 3], [3, 2, 1]).f1 == 1.0
+
+    @given(st.lists(st.integers(0, 5), max_size=20),
+           st.lists(st.integers(0, 5), max_size=20))
+    @settings(max_examples=60)
+    def test_bounds_and_symmetric_f1(self, a, b):
+        score = rouge1(a, b)
+        assert 0.0 <= score.f1 <= 1.0
+        assert score.f1 == pytest.approx(rouge1(b, a).f1)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_known_distances(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("flaw", "lawn") == 2
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("", "") == 0
+
+    def test_single_ops(self):
+        assert levenshtein("abc", "abd") == 1   # substitution
+        assert levenshtein("abc", "abcd") == 1  # insertion
+        assert levenshtein("abc", "ab") == 1    # deletion
+
+    @given(st.lists(st.integers(0, 3), max_size=12),
+           st.lists(st.integers(0, 3), max_size=12))
+    @settings(max_examples=60)
+    def test_metric_properties(self, a, b):
+        d = levenshtein(a, b)
+        assert d == levenshtein(b, a)
+        assert d >= abs(len(a) - len(b))
+        assert d <= max(len(a), len(b))
+        assert (d == 0) == (a == b)
+
+
+class TestEditSimilarity:
+    def test_identical(self):
+        assert edit_similarity("code", "code") == 1.0
+
+    def test_disjoint(self):
+        assert edit_similarity("aaa", "bbb") == 0.0
+
+    def test_partial(self):
+        assert edit_similarity("kitten", "sitting") == pytest.approx(1 - 3 / 7)
+
+    def test_empty(self):
+        assert edit_similarity("", "") == 1.0
+        assert edit_similarity("a", "") == 0.0
+
+    @given(st.text(max_size=15), st.text(max_size=15))
+    @settings(max_examples=60)
+    def test_bounds(self, a, b):
+        assert 0.0 <= edit_similarity(a, b) <= 1.0

@@ -1,0 +1,81 @@
+"""Tests for repro.analysis.tables."""
+
+import pytest
+
+from repro.analysis import SeriesFigure, Table, format_value
+
+
+class TestFormatValue:
+    def test_small_float(self):
+        assert format_value(0.123456) == "0.123"
+
+    def test_medium_float(self):
+        assert format_value(42.318) == "42.3"
+
+    def test_large_float(self):
+        assert format_value(12345.6) == "12,346"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_int(self):
+        assert format_value(7) == "7"
+
+
+class TestTable:
+    def _table(self):
+        t = Table("Demo", ["name", "value"])
+        t.add_row("alpha", 1.5)
+        t.add_row("beta", 20.25)
+        return t
+
+    def test_render_contains_everything(self):
+        out = self._table().render()
+        for needle in ("Demo", "name", "value", "alpha", "beta", "1.500", "20.2"):
+            assert needle in out
+
+    def test_render_aligned(self):
+        lines = self._table().render().splitlines()
+        header = next(line for line in lines if "name" in line)
+        row = next(line for line in lines if "alpha" in line)
+        assert header.index("value") == row.index("1.500")
+
+    def test_markdown(self):
+        md = self._table().to_markdown()
+        assert md.startswith("**Demo**")
+        assert "| name | value |" in md
+        assert "| alpha | 1.500 |" in md
+
+    def test_row_width_validation(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_empty_table_renders(self):
+        out = Table("Empty", ["x"]).render()
+        assert "Empty" in out
+
+
+class TestSeriesFigure:
+    def test_as_table(self):
+        fig = SeriesFigure("F", "x", [1, 2, 3])
+        fig.add_series("a", [10.0, 20.0, 30.0])
+        fig.add_series("b", [1.0, 2.0, 3.0])
+        table = fig.as_table()
+        assert table.headers == ["x", "a", "b"]
+        assert len(table.rows) == 3
+        assert table.rows[1] == [2, 20.0, 2.0]
+
+    def test_length_validation(self):
+        fig = SeriesFigure("F", "x", [1, 2])
+        with pytest.raises(ValueError):
+            fig.add_series("a", [1.0])
+
+    def test_render_and_markdown(self):
+        fig = SeriesFigure("F", "x", ["p", "q"])
+        fig.add_series("s", [0.5, 1.5])
+        assert "F" in fig.render()
+        assert "| x | s |" in fig.to_markdown()

@@ -1,0 +1,262 @@
+"""Tests for repro.core.attention and repro.core.flash."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attention import (
+    HackConfig,
+    attention_dequantize,
+    attention_hack,
+    attention_reference,
+    causal_mask,
+    softmax,
+)
+from repro.core.flash import flash_attention, flash_attention_hack
+from repro.core.rounding import make_rng
+
+
+def _qkv(l_q=16, l_kv=48, d=32, seed=0, offset=1.0):
+    """Q/K/V with a non-zero mean so relative errors are meaningful."""
+    rng = make_rng(seed)
+    q = rng.normal(size=(l_q, d))
+    k = rng.normal(size=(l_kv, d)) + offset * np.sin(np.arange(d))
+    v = rng.normal(size=(l_kv, d)) + offset
+    return q, k, v
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = make_rng(0).normal(size=(5, 9))
+        np.testing.assert_allclose(softmax(x).sum(axis=-1), np.ones(5))
+
+    def test_matches_definition(self):
+        x = np.array([[0.0, 1.0, 2.0]])
+        expected = np.exp(x) / np.exp(x).sum()
+        np.testing.assert_allclose(softmax(x), expected)
+
+    def test_stable_for_large_values(self):
+        x = np.array([[1e4, 1e4 + 1]])
+        out = softmax(x)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out.sum(), 1.0)
+
+    def test_invariant_to_shift(self):
+        x = make_rng(1).normal(size=(3, 7))
+        np.testing.assert_allclose(softmax(x), softmax(x + 100))
+
+
+class TestCausalMask:
+    def test_square_lower_triangular(self):
+        m = causal_mask(4, 4)
+        np.testing.assert_array_equal(m, np.tril(np.ones((4, 4), dtype=bool)))
+
+    def test_decode_shape_attends_everywhere(self):
+        m = causal_mask(1, 10)
+        assert m.all()
+
+    def test_offset_alignment(self):
+        m = causal_mask(2, 5)
+        # query 0 is token index 3 of 5; attends to keys 0..3.
+        np.testing.assert_array_equal(m[0], [True, True, True, True, False])
+        np.testing.assert_array_equal(m[1], [True] * 5)
+
+    def test_rejects_lq_greater_than_lkv(self):
+        with pytest.raises(ValueError):
+            causal_mask(5, 3)
+
+
+class TestAttentionReference:
+    def test_output_shape(self):
+        q, k, v = _qkv()
+        assert attention_reference(q, k, v).shape == (16, 32)
+
+    def test_single_key_returns_value(self):
+        q = np.ones((1, 4))
+        k = np.ones((1, 4))
+        v = np.array([[1.0, 2.0, 3.0, 4.0]])
+        np.testing.assert_allclose(attention_reference(q, k, v), v)
+
+    def test_uniform_scores_average_values(self):
+        q = np.zeros((1, 4))
+        k = make_rng(2).normal(size=(8, 4))
+        v = make_rng(3).normal(size=(8, 4))
+        np.testing.assert_allclose(
+            attention_reference(q, k, v, causal=False), v.mean(axis=0)[None, :]
+        )
+
+    def test_causal_ignores_future(self):
+        """Changing a future key/value must not affect earlier queries."""
+        q, k, v = _qkv(l_q=8, l_kv=8, seed=4)
+        out1 = attention_reference(q, k, v, causal=True)
+        k2, v2 = k.copy(), v.copy()
+        k2[-1] += 100
+        v2[-1] -= 100
+        out2 = attention_reference(q, k2, v2, causal=True)
+        np.testing.assert_allclose(out1[:-1], out2[:-1])
+
+    def test_convex_combination_of_values(self):
+        q, k, v = _qkv(seed=5)
+        out = attention_reference(q, k, v, causal=False)
+        assert out.min() >= v.min() - 1e-9
+        assert out.max() <= v.max() + 1e-9
+
+    def test_custom_scale(self):
+        q, k, v = _qkv(seed=6)
+        default = attention_reference(q, k, v)
+        explicit = attention_reference(q, k, v, scale=1 / np.sqrt(q.shape[1]))
+        np.testing.assert_allclose(default, explicit)
+
+
+class TestAttentionHack:
+    def test_approximates_reference(self):
+        q, k, v = _qkv(l_q=32, l_kv=128, d=64, seed=7)
+        ref = attention_reference(q, k, v)
+        out = attention_hack(q, k, v, HackConfig(partition_size=16),
+                             rng=make_rng(0))
+        rel = np.linalg.norm(out - ref) / np.linalg.norm(ref)
+        assert rel < 0.25
+
+    def test_smaller_partitions_more_accurate(self):
+        """Π=16 beats Π=128 on average (paper Table 6 / Table 8 trend)."""
+        rels = {}
+        for pi in (16, 128):
+            errs = []
+            for seed in range(8):
+                q, k, v = _qkv(l_q=16, l_kv=256, d=128, seed=seed)
+                ref = attention_reference(q, k, v)
+                out = attention_hack(q, k, v, HackConfig(partition_size=pi),
+                                     rng=make_rng(seed))
+                errs.append(np.linalg.norm(out - ref) / np.linalg.norm(ref))
+            rels[pi] = np.mean(errs)
+        assert rels[16] < rels[128]
+
+    def test_respects_causal_mask(self):
+        """Perturbing a *future K* row must not change earlier outputs.
+
+        Only K is perturbed: K is quantized per token row, so other rows'
+        codes are untouched, and the masked score column never reaches
+        softmax.  (Perturbing a future V row legitimately *does* change
+        earlier outputs slightly, because V partitions span the sequence
+        dimension and share [min, max] — the coupling RQE addresses.)
+        """
+        q, k, v = _qkv(l_q=8, l_kv=8, seed=9)
+        cfg = HackConfig(rounding="nearest")
+        out1 = attention_hack(q, k, v, cfg, causal=True)
+        k2 = k.copy()
+        k2[-1] += 100
+        out2 = attention_hack(q, k2, v, cfg, causal=True)
+        np.testing.assert_allclose(out1[:-1], out2[:-1], atol=1e-8)
+
+    def test_deterministic_given_rng(self):
+        q, k, v = _qkv(seed=10)
+        a = attention_hack(q, k, v, rng=make_rng(3))
+        b = attention_hack(q, k, v, rng=make_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_nearest_rounding_mode(self):
+        q, k, v = _qkv(seed=11)
+        cfg = HackConfig(rounding="nearest", partition_size=16)
+        a = attention_hack(q, k, v, cfg)
+        b = attention_hack(q, k, v, cfg)
+        np.testing.assert_array_equal(a, b)
+
+    def test_8bit_kv_nearly_exact(self):
+        q, k, v = _qkv(l_q=8, l_kv=64, d=32, seed=12)
+        cfg = HackConfig(partition_size=16, kv_bits=8)
+        out = attention_hack(q, k, v, cfg, rng=make_rng(0))
+        ref = attention_reference(q, k, v)
+        rel = np.linalg.norm(out - ref) / np.linalg.norm(ref)
+        assert rel < 0.02
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HackConfig(partition_size=0)
+
+
+class TestAttentionDequantize:
+    def test_same_kv_error_no_qp_error(self):
+        """Dequantize path only quantizes K/V; with 8-bit KV it is near-exact."""
+        q, k, v = _qkv(l_q=8, l_kv=64, d=32, seed=13)
+        cfg = HackConfig(partition_size=16, kv_bits=8)
+        out = attention_dequantize(q, k, v, cfg, rng=make_rng(0))
+        ref = attention_reference(q, k, v)
+        rel = np.linalg.norm(out - ref) / np.linalg.norm(ref)
+        assert rel < 0.01
+
+    def test_comparable_error_to_hack(self):
+        """HACK's extra Q/P quantization adds only modest error (§7.3)."""
+        hack_err, deq_err = [], []
+        for seed in range(6):
+            q, k, v = _qkv(l_q=16, l_kv=128, d=64, seed=seed)
+            ref = attention_reference(q, k, v)
+            cfg = HackConfig(partition_size=32)
+            h = attention_hack(q, k, v, cfg, rng=make_rng(seed))
+            d = attention_dequantize(q, k, v, cfg, rng=make_rng(seed))
+            hack_err.append(np.linalg.norm(h - ref) / np.linalg.norm(ref))
+            deq_err.append(np.linalg.norm(d - ref) / np.linalg.norm(ref))
+        assert np.mean(hack_err) < 2.0 * np.mean(deq_err) + 0.05
+
+
+class TestFlashAttention:
+    @pytest.mark.parametrize("block_size", [1, 7, 16, 64, 1000])
+    def test_equals_naive(self, block_size):
+        q, k, v = _qkv(l_q=12, l_kv=40, d=16, seed=14)
+        ref = attention_reference(q, k, v)
+        out = flash_attention(q, k, v, block_size=block_size)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_equals_naive_noncausal(self):
+        q, k, v = _qkv(seed=15)
+        np.testing.assert_allclose(
+            flash_attention(q, k, v, block_size=13, causal=False),
+            attention_reference(q, k, v, causal=False),
+            atol=1e-10,
+        )
+
+    def test_rejects_bad_block_size(self):
+        q, k, v = _qkv()
+        with pytest.raises(ValueError):
+            flash_attention(q, k, v, block_size=0)
+
+    @given(st.integers(1, 64), st.integers(1, 6), st.integers(1, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_blocked_exactness_property(self, block_size, l_q, extra_kv):
+        l_kv = l_q + extra_kv
+        q, k, v = _qkv(l_q=l_q, l_kv=l_kv, d=8, seed=block_size)
+        np.testing.assert_allclose(
+            flash_attention(q, k, v, block_size=block_size),
+            attention_reference(q, k, v),
+            atol=1e-8,
+        )
+
+
+class TestFlashAttentionHack:
+    def test_block_must_align_with_partition(self):
+        q, k, v = _qkv()
+        with pytest.raises(ValueError):
+            flash_attention_hack(q, k, v, HackConfig(partition_size=16),
+                                 block_size=24)
+
+    def test_tracks_unfused_hack(self):
+        """The fused flash kernel lands close to the plain HACK result."""
+        q, k, v = _qkv(l_q=16, l_kv=128, d=64, seed=16)
+        ref = attention_reference(q, k, v)
+        cfg = HackConfig(partition_size=16)
+        fused = flash_attention_hack(q, k, v, cfg, rng=make_rng(0))
+        rel = np.linalg.norm(fused - ref) / np.linalg.norm(ref)
+        assert rel < 0.3
+
+    def test_deterministic_given_rng(self):
+        q, k, v = _qkv(seed=17)
+        cfg = HackConfig(partition_size=8)
+        a = flash_attention_hack(q, k, v, cfg, rng=make_rng(5))
+        b = flash_attention_hack(q, k, v, cfg, rng=make_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_default_block_size(self):
+        q, k, v = _qkv(l_q=4, l_kv=40, d=16, seed=18)
+        out = flash_attention_hack(q, k, v, HackConfig(partition_size=8),
+                                   rng=make_rng(0))
+        assert out.shape == (4, 16)

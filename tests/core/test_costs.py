@@ -1,0 +1,79 @@
+"""Tests for repro.core.costs — the paper's operation-count formulas."""
+
+import pytest
+
+from repro.core import costs
+
+
+class TestMatmulFlops:
+    def test_formula(self):
+        assert costs.matmul_flops(2, 3, 4) == 48
+
+    def test_decode_shape(self):
+        assert costs.matmul_flops(1, 128, 1000) == 2 * 128 * 1000
+
+
+class TestApproximationFlops:
+    def test_full_formula(self):
+        """9MN + MZ + NZ from §5.2."""
+        m, z, n = 3, 5, 7
+        assert costs.approximation_flops(m, z, n, summation_eliminated=False) \
+            == 9 * m * n + m * z + n * z
+
+    def test_se_removes_nz(self):
+        m, z, n = 3, 5, 7
+        assert costs.approximation_flops(m, z, n, True) == 9 * m * n + m * z
+
+
+class TestPaperIdentities:
+    """The paper's §5.3 cost claims, verified symbolically."""
+
+    def test_decode_approx_cost_is_10_dh_plus_l(self):
+        d_h, l = 128, 1000
+        assert costs.hack_approx_flops_per_iter(d_h, l, True) == 10 * (d_h + l)
+
+    def test_without_se_adds_2_dh_l(self):
+        d_h, l = 128, 1000
+        with_se = costs.hack_approx_flops_per_iter(d_h, l, True)
+        without = costs.hack_approx_flops_per_iter(d_h, l, False)
+        assert without - with_se == 2 * d_h * l
+
+    def test_dequant_cost(self):
+        assert costs.kv_dequant_flops_per_iter(128, 1000) == 4 * 128 * 1000
+
+    def test_dequant_exceeds_approx_beyond_l_2_5(self):
+        """4·d_h·L > 10(d_h + L) once L > 2.5 for d_h = 128 (§5.3)."""
+        d_h = 128
+        assert costs.kv_dequant_flops_per_iter(d_h, 3) > \
+            costs.hack_approx_flops_per_iter(d_h, 3)
+        assert costs.kv_dequant_flops_per_iter(d_h, 2) < \
+            costs.hack_approx_flops_per_iter(d_h, 2)
+
+    def test_order_of_magnitude_gap_beyond_l_30(self):
+        """The paper: dequant exceeds approximation 10x once L > 30."""
+        d_h = 128
+        for l in (31, 100, 1000, 16000):
+            assert costs.kv_dequant_flops_per_iter(d_h, l) > \
+                10 * costs.hack_approx_flops_per_iter(d_h, l) * 0.99
+
+    def test_savings_grow_with_sequence_length(self):
+        d_h = 128
+        gaps = [
+            costs.kv_dequant_flops_per_iter(d_h, l)
+            - costs.hack_approx_flops_per_iter(d_h, l)
+            for l in (100, 1000, 10000)
+        ]
+        assert gaps[0] < gaps[1] < gaps[2]
+
+
+class TestOtherFormulas:
+    def test_dequantize_flops(self):
+        assert costs.dequantize_flops(100) == 200
+
+    def test_quantize_flops(self):
+        assert costs.quantize_flops(100) == 500
+
+    def test_attention_flops(self):
+        l_q, l_kv, d = 4, 16, 8
+        assert costs.attention_flops(l_q, l_kv, d) == \
+            2 * l_q * d * l_kv + 2 * l_q * l_kv * d

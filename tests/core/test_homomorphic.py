@@ -1,0 +1,242 @@
+"""Tests for repro.core.homomorphic — the Eq. 4 identity and its variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.homomorphic import (
+    homomorphic_matmul,
+    homomorphic_matmul_blocked,
+    integer_matmul,
+    transpose,
+)
+from repro.core.quantize import QuantizedTensor, dequantize, quantize
+from repro.core.rounding import make_rng
+
+
+def _quantize_pair(a, b, bits_a, bits_b, pi, seed=0):
+    rng = make_rng(seed)
+    qa = quantize(a, bits_a, axis=1, partition_size=pi, rng=rng)
+    qb = quantize(b, bits_b, axis=0, partition_size=pi, rng=rng)
+    return qa, qb
+
+
+class TestHomomorphismIdentity:
+    """Eq. 4 must equal dequantize-then-multiply *exactly* (paper §5.2)."""
+
+    @pytest.mark.parametrize("pi", [4, 16, 64])
+    @pytest.mark.parametrize("bits", [(2, 2), (8, 2), (8, 8)])
+    def test_identity_various_configs(self, pi, bits):
+        rng = make_rng(1)
+        a = rng.normal(size=(8, 64))
+        b = rng.normal(size=(64, 12))
+        qa, qb = _quantize_pair(a, b, bits[0], bits[1], pi)
+        expected = dequantize(qa) @ dequantize(qb)
+        got = homomorphic_matmul(qa, qb)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_identity_ragged_partitions(self):
+        rng = make_rng(2)
+        a = rng.normal(size=(5, 37))
+        b = rng.normal(size=(37, 9))
+        qa, qb = _quantize_pair(a, b, 8, 2, 16)
+        np.testing.assert_allclose(
+            homomorphic_matmul(qa, qb),
+            dequantize(qa) @ dequantize(qb),
+            atol=1e-9,
+        )
+
+    def test_identity_single_row(self):
+        """Decode shape: M = L_Q = 1."""
+        rng = make_rng(3)
+        a = rng.normal(size=(1, 128))
+        b = rng.normal(size=(128, 200))
+        qa, qb = _quantize_pair(a, b, 8, 2, 64)
+        np.testing.assert_allclose(
+            homomorphic_matmul(qa, qb),
+            dequantize(qa) @ dequantize(qb),
+            atol=1e-9,
+        )
+
+    def test_identity_with_constant_partitions(self):
+        a = np.ones((3, 8))
+        b = np.zeros((8, 3))
+        qa, qb = _quantize_pair(a, b, 2, 2, 4)
+        np.testing.assert_allclose(
+            homomorphic_matmul(qa, qb), a @ b, atol=1e-12
+        )
+
+    def test_cached_and_fresh_sums_agree(self):
+        rng = make_rng(4)
+        a = rng.normal(size=(6, 32))
+        b = rng.normal(size=(32, 6))
+        qa, qb = _quantize_pair(a, b, 8, 2, 16)
+        with_cache = homomorphic_matmul(qa, qb, use_cached_b_sums=True)
+        fresh = homomorphic_matmul(qa, qb, use_cached_b_sums=False)
+        np.testing.assert_allclose(with_cache, fresh, atol=1e-12)
+
+    def test_approximates_true_product(self):
+        """With 8-bit codes, Eq. 4 closely tracks the FP product."""
+        rng = make_rng(5)
+        a = rng.normal(size=(16, 128))
+        b = rng.normal(size=(128, 16))
+        qa, qb = _quantize_pair(a, b, 8, 8, 32)
+        got = homomorphic_matmul(qa, qb)
+        rel = np.linalg.norm(got - a @ b) / np.linalg.norm(a @ b)
+        assert rel < 0.02
+
+
+class TestIntegerMatmul:
+    def test_matches_code_product(self):
+        rng = make_rng(6)
+        a = rng.normal(size=(4, 16))
+        b = rng.normal(size=(16, 4))
+        qa, qb = _quantize_pair(a, b, 2, 2, 8)
+        expected = qa.codes.astype(np.int64) @ qb.codes.astype(np.int64)
+        np.testing.assert_array_equal(integer_matmul(qa, qb), expected)
+
+    def test_no_overflow_large_codes(self):
+        """Worst-case 8-bit codes over a long inner dim stay exact."""
+        a = np.full((2, 4096), 1e6)
+        b = np.full((4096, 2), 1e6)
+        qa, qb = _quantize_pair(a + np.arange(4096), b, 8, 8, 128)
+        out = integer_matmul(qa, qb)
+        assert out.dtype == np.int64
+        assert np.all(out >= 0)
+
+
+class TestTranspose:
+    def test_roundtrip(self):
+        x = make_rng(7).normal(size=(12, 24))
+        qt = quantize(x, 2, axis=1, partition_size=8, rng=make_rng(0))
+        back = transpose(transpose(qt))
+        np.testing.assert_array_equal(back.codes, qt.codes)
+        np.testing.assert_array_equal(back.mins, qt.mins)
+        assert back.axis == qt.axis
+
+    def test_transpose_dequantize_commutes(self):
+        x = make_rng(8).normal(size=(12, 24))
+        qt = quantize(x, 2, axis=1, partition_size=8, rng=make_rng(0))
+        np.testing.assert_allclose(
+            dequantize(transpose(qt)), dequantize(qt).T, atol=1e-12
+        )
+
+    def test_qkt_pattern(self):
+        """Quantize K row-wise, transpose, multiply — the S = Q·Kᵀ path."""
+        rng = make_rng(9)
+        q = rng.normal(size=(4, 32))
+        k = rng.normal(size=(10, 32))
+        qq = quantize(q, 8, axis=1, partition_size=16, rng=rng)
+        kq = quantize(k, 2, axis=1, partition_size=16, rng=rng)
+        got = homomorphic_matmul(qq, transpose(kq))
+        expected = dequantize(qq) @ dequantize(kq).T
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_transposed_sums_preserved(self):
+        x = make_rng(10).normal(size=(6, 16))
+        qt = quantize(x, 2, axis=1, partition_size=8, rng=make_rng(0))
+        qt.partition_sums()
+        tr = transpose(qt)
+        assert tr._sums is not None
+        np.testing.assert_array_equal(tr._sums, qt._sums.T)
+
+
+class TestBlocked:
+    def test_blocked_equals_unblocked(self):
+        """Fig. 6(b): splitting the inner dim into blocks changes nothing."""
+        rng = make_rng(11)
+        a = rng.normal(size=(6, 64))
+        b = rng.normal(size=(64, 6))
+        pi = 16
+        qa_full, qb_full = _quantize_pair(a, b, 8, 2, pi, seed=3)
+        full = homomorphic_matmul(qa_full, qb_full)
+
+        halves = []
+        for lo, hi in ((0, 32), (32, 64)):
+            rng_blk = make_rng(3)
+            qa_blk = quantize(a[:, lo:hi], 8, axis=1, partition_size=pi, rng=rng_blk)
+            qb_blk = quantize(b[lo:hi, :], 2, axis=0, partition_size=pi, rng=rng_blk)
+            halves.append((qa_blk, qb_blk))
+        blocked = homomorphic_matmul_blocked(
+            [h[0] for h in halves], [h[1] for h in halves]
+        )
+        # Same partition boundaries but independent stochastic draws, so
+        # compare against the blocked operands' own dequantized product.
+        expected = sum(
+            dequantize(qa) @ dequantize(qb) for qa, qb in halves
+        )
+        np.testing.assert_allclose(blocked, expected, atol=1e-9)
+        assert blocked.shape == full.shape
+
+    def test_blocked_identity_with_nearest_rounding(self):
+        """With deterministic rounding, blocked == unblocked exactly."""
+        rng = make_rng(12)
+        a = rng.normal(size=(4, 32))
+        b = rng.normal(size=(32, 4))
+        pi = 8
+        qa = quantize(a, 8, axis=1, partition_size=pi, rounding="nearest")
+        qb = quantize(b, 2, axis=0, partition_size=pi, rounding="nearest")
+        full = homomorphic_matmul(qa, qb)
+
+        blocks_a, blocks_b = [], []
+        for lo, hi in ((0, 16), (16, 32)):
+            blocks_a.append(
+                quantize(a[:, lo:hi], 8, axis=1, partition_size=pi, rounding="nearest")
+            )
+            blocks_b.append(
+                quantize(b[lo:hi, :], 2, axis=0, partition_size=pi, rounding="nearest")
+            )
+        blocked = homomorphic_matmul_blocked(blocks_a, blocks_b)
+        np.testing.assert_allclose(blocked, full, atol=1e-9)
+
+    def test_blocked_validation(self):
+        x = quantize(np.zeros((2, 4)), 2, axis=1, partition_size=4)
+        y = quantize(np.zeros((4, 2)), 2, axis=0, partition_size=4)
+        with pytest.raises(ValueError):
+            homomorphic_matmul_blocked([x], [y, y])
+        with pytest.raises(ValueError):
+            homomorphic_matmul_blocked([], [])
+
+
+class TestOperandValidation:
+    def test_rejects_wrong_axes(self):
+        a = quantize(np.zeros((2, 4)), 2, axis=0, partition_size=4)
+        b = quantize(np.zeros((4, 2)), 2, axis=0, partition_size=4)
+        with pytest.raises(ValueError):
+            homomorphic_matmul(a, b)
+
+    def test_rejects_mismatched_inner_dim(self):
+        a = quantize(np.zeros((2, 4)), 2, axis=1, partition_size=4)
+        b = quantize(np.zeros((8, 2)), 2, axis=0, partition_size=4)
+        with pytest.raises(ValueError):
+            homomorphic_matmul(a, b)
+
+    def test_rejects_mismatched_partition_size(self):
+        a = quantize(np.zeros((2, 8)), 2, axis=1, partition_size=4)
+        b = quantize(np.zeros((8, 2)), 2, axis=0, partition_size=8)
+        with pytest.raises(ValueError):
+            homomorphic_matmul(a, b)
+
+
+@given(
+    hnp.arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(1, 24)),
+               elements=st.floats(-50, 50, allow_nan=False, width=32)),
+    hnp.arrays(np.float64, st.tuples(st.integers(1, 6),),
+               elements=st.floats(-50, 50, allow_nan=False, width=32)),
+    st.integers(1, 8),
+    st.sampled_from([2, 8]),
+)
+@settings(max_examples=60, deadline=None)
+def test_homomorphism_property(a, b_col, pi, bits):
+    """Property: Eq. 4 equals dequantize-then-multiply for any shapes."""
+    z = a.shape[1]
+    b = np.outer(
+        np.resize(b_col, z), np.ones(3)
+    ) + np.arange(3)  # (z, 3) with varied columns
+    qa = quantize(a, 8, axis=1, partition_size=pi, rng=make_rng(0))
+    qb = quantize(b, bits, axis=0, partition_size=pi, rng=make_rng(1))
+    got = homomorphic_matmul(qa, qb)
+    expected = dequantize(qa) @ dequantize(qb)
+    np.testing.assert_allclose(got, expected, atol=1e-6)

@@ -1,0 +1,101 @@
+"""Tests for repro.core.packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packing import (
+    codes_per_byte,
+    pack_codes,
+    packed_nbytes,
+    unpack_codes,
+)
+
+
+class TestCodesPerByte:
+    @pytest.mark.parametrize("bits,expected", [(2, 4), (4, 2), (8, 1)])
+    def test_values(self, bits, expected):
+        assert codes_per_byte(bits) == expected
+
+    @pytest.mark.parametrize("bits", [0, 1, 3, 5, 16])
+    def test_rejects_unsupported(self, bits):
+        with pytest.raises(ValueError):
+            codes_per_byte(bits)
+
+
+class TestPackedNbytes:
+    def test_exact_multiples(self):
+        assert packed_nbytes(8, 2) == 2
+        assert packed_nbytes(8, 4) == 4
+        assert packed_nbytes(8, 8) == 8
+
+    def test_rounds_up(self):
+        assert packed_nbytes(5, 2) == 2
+        assert packed_nbytes(1, 2) == 1
+        assert packed_nbytes(3, 4) == 2
+
+    def test_zero(self):
+        assert packed_nbytes(0, 2) == 0
+
+    def test_compression_factor(self):
+        """2-bit packing is 8x smaller than FP16 per element."""
+        n = 1024
+        assert packed_nbytes(n, 2) * 8 == n * 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_roundtrip_random(self, bits):
+        rng = np.random.default_rng(bits)
+        codes = rng.integers(0, 1 << bits, size=1000).astype(np.uint8)
+        packed = pack_codes(codes, bits)
+        out = unpack_codes(packed, codes.size, bits)
+        np.testing.assert_array_equal(out, codes)
+
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_roundtrip_2d(self, bits):
+        rng = np.random.default_rng(bits + 10)
+        codes = rng.integers(0, 1 << bits, size=(17, 13)).astype(np.uint8)
+        packed = pack_codes(codes, bits)
+        out = unpack_codes(packed, codes.size, bits).reshape(codes.shape)
+        np.testing.assert_array_equal(out, codes)
+
+    def test_roundtrip_odd_length(self):
+        codes = np.array([3, 1, 0, 2, 1], dtype=np.uint8)
+        packed = pack_codes(codes, 2)
+        assert packed.size == 2
+        np.testing.assert_array_equal(unpack_codes(packed, 5, 2), codes)
+
+    def test_empty(self):
+        packed = pack_codes(np.array([], dtype=np.uint8), 2)
+        assert packed.size == 0
+        assert unpack_codes(packed, 0, 2).size == 0
+
+    def test_packed_size_matches_helper(self):
+        codes = np.arange(100, dtype=np.uint8) % 4
+        assert pack_codes(codes, 2).size == packed_nbytes(100, 2)
+
+    def test_little_end_first_layout(self):
+        """First code occupies the least significant bits."""
+        packed = pack_codes(np.array([1, 2, 3, 0], dtype=np.uint8), 2)
+        assert packed[0] == 1 | (2 << 2) | (3 << 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([4], dtype=np.int64), 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([-1], dtype=np.int64), 2)
+
+    @given(
+        st.integers(min_value=0, max_value=2),
+        st.lists(st.integers(min_value=0, max_value=255), max_size=64),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, bits_idx, values):
+        bits = (2, 4, 8)[bits_idx]
+        codes = np.array([v % (1 << bits) for v in values], dtype=np.uint8)
+        packed = pack_codes(codes, bits)
+        np.testing.assert_array_equal(unpack_codes(packed, codes.size, bits), codes)

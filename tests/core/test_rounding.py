@@ -1,0 +1,93 @@
+"""Tests for repro.core.rounding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rounding import make_rng, nearest_round, stochastic_round
+
+
+class TestStochasticRound:
+    def test_integers_unchanged(self):
+        x = np.array([-3.0, -1.0, 0.0, 2.0, 7.0])
+        out = stochastic_round(x, make_rng(0))
+        np.testing.assert_array_equal(out, x)
+
+    def test_result_is_floor_or_ceil(self):
+        rng = make_rng(1)
+        x = rng.normal(size=1000) * 10
+        out = stochastic_round(x, rng)
+        assert np.all((out == np.floor(x)) | (out == np.ceil(x)))
+
+    def test_result_is_integral(self):
+        rng = make_rng(2)
+        x = rng.uniform(-50, 50, size=500)
+        out = stochastic_round(x, rng)
+        np.testing.assert_array_equal(out, np.round(out))
+
+    def test_unbiased_mean(self):
+        """E[round(x)] == x: the key property for quantization quality."""
+        rng = make_rng(3)
+        x = np.full(200_000, 2.3)
+        out = stochastic_round(x, rng)
+        assert abs(out.mean() - 2.3) < 0.01
+
+    def test_unbiased_for_negative_values(self):
+        rng = make_rng(4)
+        x = np.full(200_000, -1.7)
+        out = stochastic_round(x, rng)
+        assert abs(out.mean() + 1.7) < 0.01
+
+    def test_probability_proportional_to_fraction(self):
+        """x = n + f rounds up with probability f."""
+        rng = make_rng(5)
+        x = np.full(100_000, 0.25)
+        out = stochastic_round(x, rng)
+        up_fraction = (out == 1.0).mean()
+        assert abs(up_fraction - 0.25) < 0.01
+
+    def test_deterministic_with_seed(self):
+        x = np.linspace(-5, 5, 100)
+        a = stochastic_round(x, make_rng(7))
+        b = stochastic_round(x, make_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_default_rng_accepted(self):
+        out = stochastic_round(np.array([0.5]))
+        assert out[0] in (0.0, 1.0)
+
+    def test_scalar_like_input(self):
+        out = stochastic_round(np.array(1.5), make_rng(0))
+        assert out in (1.0, 2.0)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    @settings(max_examples=100)
+    def test_bracketing_property(self, value):
+        out = stochastic_round(np.array([value]), make_rng(0))[0]
+        assert np.floor(value) <= out <= np.ceil(value)
+
+
+class TestNearestRound:
+    def test_basic(self):
+        x = np.array([0.4, 0.6, -0.4, -0.6])
+        np.testing.assert_array_equal(nearest_round(x), [0.0, 1.0, -0.0, -1.0])
+
+    def test_half_to_even(self):
+        x = np.array([0.5, 1.5, 2.5, -0.5])
+        np.testing.assert_array_equal(nearest_round(x), [0.0, 2.0, 2.0, -0.0])
+
+    def test_integral_identity(self):
+        x = np.arange(-10.0, 10.0)
+        np.testing.assert_array_equal(nearest_round(x), x)
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(11).random() == make_rng(11).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_returns_generator(self):
+        assert isinstance(make_rng(0), np.random.Generator)

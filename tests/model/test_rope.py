@@ -1,0 +1,73 @@
+"""Tests for repro.model.rope."""
+
+import numpy as np
+import pytest
+
+from repro.model.rope import apply_rope, rope_angles
+
+
+class TestRopeAngles:
+    def test_shapes(self):
+        cos, sin = rope_angles(np.arange(5), 16)
+        assert cos.shape == (5, 8)
+        assert sin.shape == (5, 8)
+
+    def test_position_zero_identity_angles(self):
+        cos, sin = rope_angles(np.array([0]), 8)
+        np.testing.assert_allclose(cos, 1.0)
+        np.testing.assert_allclose(sin, 0.0)
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            rope_angles(np.arange(3), 7)
+
+    def test_frequency_decay(self):
+        """Higher channel pairs rotate slower."""
+        cos, sin = rope_angles(np.array([1]), 64)
+        angles = np.arctan2(sin[0], cos[0])
+        assert np.all(np.diff(angles) <= 0)
+
+
+class TestApplyRope:
+    def test_norm_preserved(self):
+        """Rotation preserves the norm of every channel pair."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(6, 16))
+        out = apply_rope(x, np.arange(6))
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=1), np.linalg.norm(x, axis=1)
+        )
+
+    def test_position_zero_is_identity(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 8))
+        np.testing.assert_allclose(apply_rope(x, np.array([0])), x)
+
+    def test_relative_position_property(self):
+        """q_m · k_n depends only on m - n (the point of RoPE)."""
+        rng = np.random.default_rng(2)
+        q = rng.normal(size=(1, 32))
+        k = rng.normal(size=(1, 32))
+
+        def dot(m, n):
+            qr = apply_rope(q, np.array([m]))
+            kr = apply_rope(k, np.array([n]))
+            return float((qr @ kr.T)[0, 0])
+
+        assert dot(5, 3) == pytest.approx(dot(12, 10), rel=1e-9)
+        assert dot(7, 7) == pytest.approx(dot(0, 0), rel=1e-9)
+
+    def test_different_positions_rotate_differently(self):
+        x = np.ones((2, 8))
+        out = apply_rope(x, np.array([1, 2]))
+        assert not np.allclose(out[0], out[1])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            apply_rope(np.zeros(8), np.array([0]))
+
+    def test_custom_base(self):
+        x = np.ones((1, 8))
+        a = apply_rope(x, np.array([3]), base=10000.0)
+        b = apply_rope(x, np.array([3]), base=500.0)
+        assert not np.allclose(a, b)

@@ -1,0 +1,217 @@
+"""Tests for the CacheGen-like / KVQuant-like / HACK compressor adapters."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    CacheGenCompressor,
+    HackCompressor,
+    KVQuantCompressor,
+    compression_ratio,
+    kmeans_1d,
+)
+
+
+def _kv_plane(n_tokens=128, n_channels=64, seed=0, token_smooth=0.1):
+    """KV-like plane: channel structure + slowly drifting token dimension."""
+    rng = np.random.default_rng(seed)
+    channel_base = rng.normal(size=(1, n_channels)) * 1.5
+    drift = np.cumsum(rng.normal(scale=token_smooth, size=(n_tokens, n_channels)),
+                      axis=0)
+    noise = rng.normal(scale=0.25, size=(n_tokens, n_channels))
+    return channel_base + drift + noise
+
+
+class TestCacheGen:
+    def test_roundtrip_shape(self):
+        plane = _kv_plane()
+        rec, comp = CacheGenCompressor().roundtrip(plane)
+        assert rec.shape == plane.shape
+        assert comp.method == "cachegen"
+
+    def test_reconstruction_error_small(self):
+        plane = _kv_plane(seed=1)
+        rec, _ = CacheGenCompressor().roundtrip(plane)
+        rel = np.abs(rec - plane).mean() / np.abs(plane).mean()
+        assert rel < 0.10
+
+    def test_compression_substantial(self):
+        plane = _kv_plane(seed=2)
+        ratio = compression_ratio(CacheGenCompressor(), plane)
+        assert ratio > 0.70
+
+    def test_smoother_tokens_compress_better(self):
+        """Token locality is the property CacheGen exploits."""
+        smooth = _kv_plane(seed=3, token_smooth=0.02)
+        rough = _kv_plane(seed=3, token_smooth=1.0)
+        comp = CacheGenCompressor()
+        assert compression_ratio(comp, smooth) > compression_ratio(comp, rough)
+
+    def test_anchor_tokens_exactness(self):
+        """Anchors are quantized at 8 bits — much closer than deltas."""
+        plane = _kv_plane(seed=4)
+        comp = CacheGenCompressor(chunk_size=16)
+        rec, _ = comp.roundtrip(plane)
+        anchor_err = np.abs(rec[::16] - plane[::16]).mean()
+        other_err = np.abs(rec[1::16] - plane[1::16]).mean()
+        assert anchor_err < other_err
+
+    def test_single_chunk(self):
+        plane = _kv_plane(n_tokens=5, seed=5)
+        rec, _ = CacheGenCompressor(chunk_size=16).roundtrip(plane)
+        assert rec.shape == plane.shape
+
+    def test_chunk_boundary_token_counts(self):
+        for n in (15, 16, 17, 32):
+            plane = _kv_plane(n_tokens=n, seed=n)
+            rec, _ = CacheGenCompressor(chunk_size=16).roundtrip(plane)
+            assert rec.shape == (n, 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheGenCompressor(chunk_size=1)
+        with pytest.raises(ValueError):
+            CacheGenCompressor(delta_bits=1)
+        with pytest.raises(ValueError):
+            CacheGenCompressor().compress(np.zeros(5))
+
+
+class TestKmeans1d:
+    def test_recovers_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        values = np.concatenate([
+            rng.normal(0, 0.01, 100), rng.normal(10, 0.01, 100)
+        ])
+        centroids = kmeans_1d(values, 2)
+        np.testing.assert_allclose(centroids, [0, 10], atol=0.1)
+
+    def test_sorted_output(self):
+        rng = np.random.default_rng(1)
+        centroids = kmeans_1d(rng.normal(size=500), 4)
+        assert np.all(np.diff(centroids) >= 0)
+
+    def test_k_one(self):
+        values = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(kmeans_1d(values, 1), [2.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            kmeans_1d(np.array([]), 2)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=300)
+        np.testing.assert_array_equal(kmeans_1d(values, 4), kmeans_1d(values, 4))
+
+
+class TestKVQuant:
+    def test_roundtrip_shape(self):
+        plane = _kv_plane(seed=6)
+        rec, comp = KVQuantCompressor().roundtrip(plane)
+        assert rec.shape == plane.shape
+        assert comp.method == "kvquant"
+
+    def test_compression_near_86_percent(self):
+        """2-bit + metadata ≈ the ~86% the paper quotes."""
+        plane = _kv_plane(n_tokens=512, n_channels=128, seed=7)
+        ratio = compression_ratio(KVQuantCompressor(bits=2), plane)
+        assert 0.80 < ratio < 0.90
+
+    def test_outliers_preserved_exactly(self):
+        plane = _kv_plane(seed=8)
+        plane[10, 20] = 100.0  # gross outlier
+        rec, _ = KVQuantCompressor(outlier_fraction=0.01).roundtrip(plane)
+        assert rec[10, 20] == pytest.approx(100.0)
+
+    def test_outlier_isolation_improves_accuracy(self):
+        plane = _kv_plane(seed=9)
+        rng = np.random.default_rng(9)
+        idx = rng.integers(0, plane.shape[0], 20), rng.integers(0, plane.shape[1], 20)
+        plane[idx] += rng.choice([-30, 30], 20)
+        with_out = KVQuantCompressor(outlier_fraction=0.02)
+        without = KVQuantCompressor(outlier_fraction=0.0)
+        err_with = np.abs(with_out.roundtrip(plane)[0] - plane).mean()
+        err_without = np.abs(without.roundtrip(plane)[0] - plane).mean()
+        assert err_with < err_without
+
+    def test_nuq_beats_uniform_on_gaussian(self):
+        rng = np.random.default_rng(10)
+        plane = rng.normal(size=(256, 64))
+        nuq = KVQuantCompressor(bits=2, nuq=True, outlier_fraction=0.0)
+        uni = KVQuantCompressor(bits=2, nuq=False, outlier_fraction=0.0)
+        err_nuq = np.abs(nuq.roundtrip(plane)[0] - plane).mean()
+        err_uni = np.abs(uni.roundtrip(plane)[0] - plane).mean()
+        assert err_nuq < err_uni
+
+    def test_channel_vs_token_axis(self):
+        """Channel grouping wins on channel-structured planes (K-like)."""
+        plane = _kv_plane(seed=11)
+        by_channel = KVQuantCompressor(axis="channel", outlier_fraction=0.0)
+        by_token = KVQuantCompressor(axis="token", outlier_fraction=0.0)
+        err_ch = np.abs(by_channel.roundtrip(plane)[0] - plane).mean()
+        err_tok = np.abs(by_token.roundtrip(plane)[0] - plane).mean()
+        assert err_ch < err_tok
+
+    def test_more_bits_lower_error(self):
+        plane = _kv_plane(seed=12)
+        errs = []
+        for bits in (2, 4):
+            comp = KVQuantCompressor(bits=bits, outlier_fraction=0.0)
+            errs.append(np.abs(comp.roundtrip(plane)[0] - plane).mean())
+        assert errs[1] < errs[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KVQuantCompressor(bits=0)
+        with pytest.raises(ValueError):
+            KVQuantCompressor(axis="row")
+        with pytest.raises(ValueError):
+            KVQuantCompressor(outlier_fraction=0.7)
+
+
+class TestHackAdapter:
+    def test_roundtrip_k_plane(self):
+        plane = _kv_plane(seed=13)
+        rec, comp = HackCompressor(plane_kind="k").roundtrip(plane)
+        assert rec.shape == plane.shape
+        assert comp.method == "hack"
+
+    def test_compression_near_86_percent(self):
+        plane = _kv_plane(n_tokens=512, n_channels=128, seed=14)
+        for kind in ("k", "v"):
+            ratio = compression_ratio(HackCompressor(plane_kind=kind), plane)
+            assert 0.80 < ratio < 0.90
+
+    def test_sums_add_bytes(self):
+        plane = _kv_plane(seed=15)
+        with_sums = HackCompressor(include_sums=True).compress(plane)
+        without = HackCompressor(include_sums=False).compress(plane)
+        assert with_sums.nbytes > without.nbytes
+
+    def test_smaller_partitions_lower_error(self):
+        plane = _kv_plane(seed=16)
+        errs = {}
+        for pi in (16, 128):
+            comp = HackCompressor(partition_size=pi, plane_kind="v",
+                                  rounding="nearest")
+            errs[pi] = np.abs(comp.roundtrip(plane)[0] - plane).mean()
+        assert errs[16] < errs[128]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HackCompressor(plane_kind="q")
+
+
+class TestCompressedKVAccounting:
+    def test_ratio_definition(self):
+        plane = _kv_plane(seed=17)
+        comp = HackCompressor().compress(plane)
+        expected = 1 - comp.nbytes / (plane.size * 2)
+        assert comp.ratio() == pytest.approx(expected)
+
+    def test_fp16_nbytes(self):
+        plane = _kv_plane(n_tokens=10, n_channels=8)
+        comp = HackCompressor().compress(plane)
+        assert comp.fp16_nbytes() == 10 * 8 * 2

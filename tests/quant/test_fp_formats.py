@@ -1,0 +1,150 @@
+"""Tests for repro.quant.fp_formats — FP4/FP6/FP8 minifloats (paper §3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.fp_formats import (
+    FP4_E2M1,
+    FP6_E3M2,
+    FP8_E4M3,
+    FpCastCompressor,
+    cast,
+    decode,
+    encode,
+    representable_values,
+)
+
+ALL_FORMATS = [FP4_E2M1, FP6_E3M2, FP8_E4M3]
+
+
+class TestRepresentableValues:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_symmetric(self, fmt):
+        grid = representable_values(fmt)
+        np.testing.assert_allclose(grid, -grid[::-1])
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_sorted_unique(self, fmt):
+        grid = representable_values(fmt)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_fp4_grid_values(self):
+        """E2M1: 0, 0.5, 1, 1.5, 2, 3, 4, 6 and negatives."""
+        grid = representable_values(FP4_E2M1)
+        positives = grid[grid > 0]
+        np.testing.assert_allclose(positives, [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0])
+
+    def test_fp8_e4m3_max(self):
+        """E4M3 (all-finite convention) tops out at 480 with bias 7."""
+        assert representable_values(FP8_E4M3).max() == 480.0
+
+    def test_contains_zero(self):
+        for fmt in ALL_FORMATS:
+            assert 0.0 in representable_values(fmt)
+
+    @pytest.mark.parametrize("fmt,count", [(FP4_E2M1, 15), (FP6_E3M2, 63),
+                                           (FP8_E4M3, 255)])
+    def test_grid_size(self, fmt, count):
+        """2**bits codes minus the duplicated ±0."""
+        assert representable_values(fmt).size == count
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_representable_values_roundtrip_exactly(self, fmt):
+        grid = representable_values(fmt)
+        np.testing.assert_array_equal(cast(grid, fmt), grid)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_cast_idempotent(self, fmt):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=100) * 3
+        once = cast(x, fmt)
+        np.testing.assert_array_equal(cast(once, fmt), once)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_rounds_to_nearest(self, fmt):
+        grid = representable_values(fmt)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(grid[0], grid[-1], size=200)
+        out = cast(x, fmt)
+        for xi, oi in zip(x, out):
+            best = grid[np.argmin(np.abs(grid - xi))]
+            assert abs(oi - xi) <= abs(best - xi) + 1e-15
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_saturates(self, fmt):
+        big = representable_values(fmt).max()
+        np.testing.assert_array_equal(
+            cast(np.array([big * 10, -big * 10]), fmt), [big, -big]
+        )
+
+    def test_decode_rejects_bad_codes(self):
+        with pytest.raises(ValueError):
+            decode(np.array([200]), FP4_E2M1)
+
+    def test_precision_ordering(self):
+        """More bits, less cast error: FP8 < FP6 < FP4."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=2000)
+        errs = [np.abs(cast(x, fmt) - x).mean() for fmt in ALL_FORMATS]
+        assert errs[2] < errs[1] < errs[0]
+
+    @given(st.floats(-400, 400, allow_nan=False))
+    @settings(max_examples=100)
+    def test_error_bounded_by_grid_gap(self, value):
+        grid = representable_values(FP8_E4M3)
+        out = cast(np.array([value]), FP8_E4M3)[0]
+        gaps = np.diff(grid).max()
+        assert abs(out - value) <= gaps
+
+
+class TestFpCastCompressor:
+    def _plane(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.normal(size=(64, 64)) * np.linspace(0.5, 4.0, 64)
+
+    def test_compression_ratios_match_paper(self):
+        """FP4≈73%, FP6≈61%, FP8≈48% with MX block scales — the §3 premise
+        that FP formats cannot reach the 86% of 2-bit schemes."""
+        plane = self._plane()
+        expected = {FP4_E2M1: 0.734, FP6_E3M2: 0.609, FP8_E4M3: 0.484}
+        for fmt, target in expected.items():
+            ratio = FpCastCompressor(fmt).compress(plane).ratio()
+            assert ratio == pytest.approx(target, abs=0.01)
+
+    def test_roundtrip_error_ordering(self):
+        plane = self._plane(seed=1)
+        errs = []
+        for fmt in ALL_FORMATS:
+            rec, _ = FpCastCompressor(fmt).roundtrip(plane)
+            errs.append(np.abs(rec - plane).mean())
+        assert errs[2] < errs[1] < errs[0]
+
+    def test_block_scales_help_wide_dynamic_range(self):
+        """MX scaling exists to handle per-block magnitude variation."""
+        plane = self._plane(seed=2)
+        plane[:, 32:] *= 100
+        scaled = FpCastCompressor(FP4_E2M1, shared_block_scale=True)
+        unscaled = FpCastCompressor(FP4_E2M1, shared_block_scale=False)
+        err_s = np.abs(scaled.roundtrip(plane)[0] - plane).mean()
+        err_u = np.abs(unscaled.roundtrip(plane)[0] - plane).mean()
+        assert err_s < err_u
+
+    def test_ragged_channel_blocks(self):
+        rng = np.random.default_rng(3)
+        plane = rng.normal(size=(16, 50))  # 50 not divisible by 32
+        rec, comp = FpCastCompressor(FP4_E2M1, block_size=32).roundtrip(plane)
+        assert rec.shape == plane.shape
+
+    def test_zero_block(self):
+        plane = np.zeros((4, 32))
+        plane[0, 0] = 1.0
+        rec, _ = FpCastCompressor(FP4_E2M1).roundtrip(plane)
+        assert np.isfinite(rec).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FpCastCompressor(FP4_E2M1, block_size=0)

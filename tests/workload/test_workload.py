@@ -1,0 +1,126 @@
+"""Tests for repro.workload — dataset length models and traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    DATASETS,
+    LengthModel,
+    LONG_SEQUENCE_DATASETS,
+    SHORT_SEQUENCE_DATASETS,
+    generate_trace,
+    get_dataset,
+)
+
+
+class TestLengthModel:
+    def test_samples_within_bounds(self):
+        model = LengthModel(315, 106, 821)
+        draws = model.sample(5000, np.random.default_rng(0))
+        assert draws.min() >= 106
+        assert draws.max() <= 821
+
+    def test_mean_matches_target(self):
+        for name, spec in DATASETS.items():
+            draws = spec.input_len.sample(20000, np.random.default_rng(1))
+            assert draws.mean() == pytest.approx(spec.input_len.mean, rel=0.05), name
+
+    def test_integer_output(self):
+        draws = LengthModel(100, 10, 500).sample(100, np.random.default_rng(2))
+        assert draws.dtype == np.int64
+
+    def test_deterministic_given_seed(self):
+        model = LengthModel(243, 29, 464)
+        a = model.sample(50, np.random.default_rng(7))
+        b = model.sample(50, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LengthModel(1000, 10, 500)  # mean above max
+        with pytest.raises(ValueError):
+            LengthModel(5, 0, 10)       # min below 1
+
+
+class TestDatasetRegistry:
+    def test_table4_values(self):
+        cocktail = get_dataset("cocktail")
+        assert cocktail.input_len.mean == 16200
+        assert cocktail.input_len.minimum == 9400
+        assert cocktail.input_len.maximum == 28800
+        assert cocktail.output_len.mean == 159
+
+    def test_long_short_split(self):
+        assert set(LONG_SEQUENCE_DATASETS) == {"arxiv", "cocktail"}
+        assert set(SHORT_SEQUENCE_DATASETS) == {"imdb", "humaneval"}
+        for name in LONG_SEQUENCE_DATASETS:
+            assert get_dataset(name).long_sequence
+
+    def test_case_insensitive(self):
+        assert get_dataset("IMDb") is DATASETS["imdb"]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            get_dataset("c4")
+
+    def test_mean_total_len_ordering(self):
+        """Cocktail > arXiv > IMDb ≈ HumanEval in total length."""
+        totals = {n: get_dataset(n).mean_total_len() for n in DATASETS}
+        assert totals["cocktail"] > totals["arxiv"] > totals["humaneval"]
+        assert totals["arxiv"] > totals["imdb"]
+
+    def test_accuracy_metrics(self):
+        assert get_dataset("arxiv").accuracy_metric == "rouge1"
+        assert get_dataset("humaneval").accuracy_metric == "edit_sim"
+
+
+class TestTraces:
+    def test_trace_length_and_ordering(self):
+        trace = generate_trace("imdb", rps=2.0, n_requests=100, seed=0)
+        assert len(trace) == 100
+        arrivals = [t.arrival_s for t in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(t.request_id == i for i, t in enumerate(trace))
+
+    def test_poisson_rate(self):
+        trace = generate_trace("imdb", rps=5.0, n_requests=4000, seed=1)
+        duration = trace[-1].arrival_s
+        assert 4000 / duration == pytest.approx(5.0, rel=0.1)
+
+    def test_deterministic(self):
+        a = generate_trace("arxiv", 1.0, 20, seed=3)
+        b = generate_trace("arxiv", 1.0, 20, seed=3)
+        assert a == b
+
+    def test_lengths_from_dataset(self):
+        trace = generate_trace("cocktail", 1.0, 500, seed=4)
+        lens = np.array([t.input_len for t in trace])
+        assert lens.min() >= 9400
+        assert lens.max() <= 28800
+
+    def test_max_context_cap(self):
+        """Falcon's 2K window truncates arXiv prompts (§7.1 F-arXiv)."""
+        trace = generate_trace("arxiv", 1.0, 200, seed=5, max_context=2048)
+        assert all(t.total_len <= 2048 for t in trace)
+        assert all(t.input_len >= 1 for t in trace)
+
+    def test_total_len(self):
+        trace = generate_trace("imdb", 1.0, 5, seed=6)
+        for t in trace:
+            assert t.total_len == t.input_len + t.output_len
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace("imdb", 0.0, 10)
+        with pytest.raises(ValueError):
+            generate_trace("imdb", 1.0, 0)
+
+    @given(st.integers(1, 50), st.floats(0.1, 20.0))
+    @settings(max_examples=30, deadline=None)
+    def test_trace_invariants(self, n, rps):
+        trace = generate_trace("humaneval", rps, n, seed=n)
+        assert len(trace) == n
+        assert all(t.arrival_s > 0 for t in trace)
+        assert all(t.output_len >= 1 for t in trace)
