@@ -25,8 +25,12 @@ accuracy
     ROUGE-1, edit similarity, and the quantization-accuracy harness.
 analysis
     Table/figure rendering helpers.
+api
+    The unified front door: declarative Scenario/Sweep definitions, a
+    serial/multiprocessing Runner, and schema-versioned RunArtifacts.
 experiments
-    One module per table/figure in the paper's evaluation.
+    One module per table/figure in the paper's evaluation, expressed as
+    Scenario/Sweep definitions over :mod:`repro.api`.
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,216 @@
+"""Structured, versioned run artifacts.
+
+A :class:`RunArtifact` is the durable output of running one
+:class:`~repro.api.scenario.Scenario`: per-method summaries (JCT stats,
+the Fig. 10 decomposition, peak memory, swap counts) plus per-request
+records, under a stable schema (``hack-repro/run-artifact`` v1).
+Artifacts can be saved to disk, loaded back, rendered as tables and
+compared — the diffable, cacheable counterpart of the pretty-printed
+experiment output.
+
+The JSON is fully deterministic (no timestamps, sorted keys), so a
+byte-identical artifact means an identical run — which is how the
+parallel runner's equivalence with the serial one is checked.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..analysis.tables import Table
+from ..sim.engine import SimulationResult
+from .scenario import Scenario
+
+__all__ = ["RunArtifact", "MethodRun", "SCHEMA_NAME", "SCHEMA_VERSION",
+           "compare_artifacts"]
+
+SCHEMA_NAME = "hack-repro/run-artifact"
+SCHEMA_VERSION = 1
+
+#: Scalar summary keys surfaced by ``summary_table`` (the compact view).
+SUMMARY_METRICS = ("avg_jct_s", "p50_jct_s", "p99_jct_s",
+                   "peak_memory_fraction", "n_swapped")
+
+#: Every scalar key in a MethodRun summary — ``compare`` checks all of
+#: these plus the per-bucket decomposition and per-request JCTs.
+_COMPARE_SCALARS = ("n_requests", "avg_jct_s", "p50_jct_s", "p95_jct_s",
+                    "p99_jct_s", "max_jct_s", "peak_memory_fraction",
+                    "n_swapped")
+
+
+@dataclass
+class MethodRun:
+    """One method's results inside an artifact."""
+
+    method: str
+    summary: dict
+    requests: list[dict]
+
+    @classmethod
+    def from_result(cls, method: str, result: SimulationResult) -> "MethodRun":
+        return cls(method=method, summary=result.summary(),
+                   requests=result.to_records())
+
+    def to_dict(self) -> dict:
+        return {"method": self.method, "summary": self.summary,
+                "requests": self.requests}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MethodRun":
+        return cls(method=data["method"], summary=data["summary"],
+                   requests=data["requests"])
+
+
+@dataclass
+class RunArtifact:
+    """Everything one scenario run produced (see module docstring)."""
+
+    scenario: Scenario
+    methods: dict[str, MethodRun]
+    #: Live simulation objects, present only on freshly-run artifacts
+    #: (never serialized; ``None`` after a round-trip through disk).
+    results: dict[str, SimulationResult] | None = field(
+        default=None, repr=False, compare=False)
+
+    @classmethod
+    def from_results(cls, scenario: Scenario,
+                     results: dict[str, SimulationResult]) -> "RunArtifact":
+        runs = {m: MethodRun.from_result(m, r) for m, r in results.items()}
+        return cls(scenario=scenario, methods=runs, results=dict(results))
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_NAME,
+            "schema_version": SCHEMA_VERSION,
+            "scenario": self.scenario.to_dict(),
+            "methods": {m: run.to_dict() for m, run in self.methods.items()},
+        }
+
+    def to_json(self, indent: int | None = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunArtifact":
+        if data.get("schema") != SCHEMA_NAME:
+            raise ValueError(
+                f"not a {SCHEMA_NAME} artifact (schema={data.get('schema')!r})"
+            )
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported artifact schema_version {version!r}; "
+                f"this build reads version {SCHEMA_VERSION}"
+            )
+        missing = {"scenario", "methods"} - set(data)
+        if missing:
+            raise ValueError(
+                f"artifact is missing required key(s) {sorted(missing)}"
+            )
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),
+            methods={m: MethodRun.from_dict(d)
+                     for m, d in data["methods"].items()},
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunArtifact":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        """Write to ``path`` (a ``.json`` file, or a directory to get a
+        deterministic per-scenario filename).  Returns the file path."""
+        path = Path(path)
+        if path.suffix != ".json":
+            path.mkdir(parents=True, exist_ok=True)
+            path = path / f"{self.scenario.slug()}.json"
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunArtifact":
+        return cls.from_json(Path(path).read_text())
+
+    # -- views ----------------------------------------------------------------
+
+    def summary_table(self, title: str | None = None) -> Table:
+        """Per-method scalar summary as a renderable table."""
+        if title is None:
+            title = f"Run summary: {self.scenario.describe()}"
+        buckets = next(iter(self.methods.values())) \
+            .summary["mean_decomposition_s"].keys() if self.methods else ()
+        table = Table(title, ["method", *SUMMARY_METRICS, *buckets])
+        for method, run in self.methods.items():
+            decomp = run.summary["mean_decomposition_s"]
+            table.add_row(method,
+                          *(run.summary[k] for k in SUMMARY_METRICS),
+                          *(decomp[b] for b in buckets))
+        return table
+
+    def compare(self, other: "RunArtifact", rtol: float = 1e-9) -> dict:
+        """Per-method metric diffs against ``other`` (see
+        :func:`compare_artifacts`)."""
+        return compare_artifacts(self, other, rtol=rtol)
+
+
+def _rel_diff(a: float, b: float) -> float:
+    if a == b:
+        return 0.0
+    scale = max(abs(a), abs(b))
+    return abs(a - b) / scale if scale else 0.0
+
+
+def compare_artifacts(a: RunArtifact, b: RunArtifact,
+                      rtol: float = 1e-9) -> dict:
+    """Structured diff of two artifacts.
+
+    Checks every summary scalar, every Fig.-10 decomposition bucket and
+    the per-request JCTs — not just headline numbers — so a simulator
+    change that re-attributes time between buckets while preserving
+    totals still shows up.  Returns ``{"equal": bool, "scenario_equal":
+    bool, "methods": {name: {metric: {"a":…, "b":…, "rel_diff":…}}}}``
+    where only metrics whose relative difference exceeds ``rtol`` (and
+    methods present in one side only) are listed.
+    """
+    diffs: dict[str, dict] = {}
+    for method in sorted(set(a.methods) | set(b.methods)):
+        if method not in a.methods or method not in b.methods:
+            diffs[method] = {"missing_from": "a" if method not in a.methods
+                             else "b"}
+            continue
+        sa, sb = a.methods[method].summary, b.methods[method].summary
+        method_diff = {}
+
+        def check(metric: str, va, vb) -> None:
+            rel = _rel_diff(va, vb)
+            if rel > rtol:
+                method_diff[metric] = {"a": va, "b": vb, "rel_diff": rel}
+
+        for metric in _COMPARE_SCALARS:
+            check(metric, sa[metric], sb[metric])
+        da, db = sa["mean_decomposition_s"], sb["mean_decomposition_s"]
+        for bucket in sorted(set(da) | set(db)):
+            check(f"mean_decomposition_s.{bucket}",
+                  da.get(bucket, 0.0), db.get(bucket, 0.0))
+        ra, rb = a.methods[method].requests, b.methods[method].requests
+        if len(ra) != len(rb):
+            method_diff["requests"] = {"a": len(ra), "b": len(rb),
+                                       "rel_diff": 1.0}
+        else:
+            worst = max((_rel_diff(x["jct_s"], y["jct_s"])
+                         for x, y in zip(ra, rb)), default=0.0)
+            if worst > rtol:
+                method_diff["requests.jct_s"] = {
+                    "a": "per-request", "b": "per-request",
+                    "rel_diff": worst}
+        if method_diff:
+            diffs[method] = method_diff
+    scenario_equal = a.scenario == b.scenario
+    return {"equal": scenario_equal and not diffs,
+            "scenario_equal": scenario_equal,
+            "methods": diffs}

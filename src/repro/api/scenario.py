@@ -1,0 +1,178 @@
+"""Declarative run descriptions: the :class:`Scenario`.
+
+A scenario is the single front door for running anything in this repo:
+it names a (model, methods, dataset, cluster, load) cell declaratively
+and is JSON-(de)serializable, so runs can be saved, diffed, swept over
+and dispatched to worker processes.  Resolution of a scenario into a
+concrete trace + cluster configs lives in :mod:`repro.api.runner`; this
+module is pure description.
+
+Field semantics follow the paper's §7.1 conventions (and are identical
+to the historical ``experiments.common.run_methods`` keywords):
+
+* ``rps=None`` derives the arrival rate from the *baseline* system's
+  capacity at ``load_factor`` (default 1.05 — just past saturation);
+* ``n_requests=None`` sizes the trace to cover a comparable wall-clock
+  horizon for every dataset; ``scale`` multiplies it for quick runs;
+* ``n_prefill_replicas``/``n_decode_replicas`` override the Table 2/3
+  fleet-derived replica counts (used by the Fig. 14 scalability sweep);
+* ``calibration`` holds overrides applied on top of
+  :data:`repro.perfmodel.calibration.DEFAULT_CALIBRATION`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from ..model.config import ModelSpec
+from ..workload.datasets import get_dataset
+
+__all__ = ["Scenario", "model_dataset", "DEFAULT_LOAD_FACTOR", "DEFAULT_SEED",
+           "DEFAULT_N_REQUESTS", "MAX_AUTO_REQUESTS"]
+
+#: §7.1 operating point: the cluster is loaded slightly past the
+#: baseline's bottleneck capacity, the regime where the paper's JCT
+#: gaps appear (the baseline queues; compressed methods keep headroom).
+DEFAULT_LOAD_FACTOR = 1.05
+DEFAULT_SEED = 1
+DEFAULT_N_REQUESTS = 120
+MAX_AUTO_REQUESTS = 600
+
+
+def model_dataset(model: ModelSpec, dataset_name: str) -> tuple[str, int | None]:
+    """Resolve the paper's model↔dataset pairing quirks.
+
+    Falcon-180B cannot process Cocktail (2K context); the paper
+    substitutes arXiv capped to Falcon's window ("F-arXiv").  Returns
+    ``(dataset_name, max_context)``.
+    """
+    ds = get_dataset(dataset_name)
+    if ds.input_len.minimum >= model.max_context:
+        return "arxiv", model.max_context
+    if ds.input_len.maximum > model.max_context:
+        return dataset_name, model.max_context
+    return dataset_name, None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative simulation cell (see module docstring)."""
+
+    model: str = "L"
+    methods: tuple[str, ...] = ("baseline",)
+    dataset: str = "cocktail"
+    prefill_gpu: str = "A10G"
+    decode_gpu: str = "A100"
+    n_requests: int | None = None
+    load_factor: float | None = None
+    rps: float | None = None
+    seed: int | None = None
+    scale: float = 1.0
+    pipelining: bool = False
+    n_prefill_replicas: int | None = None
+    n_decode_replicas: int | None = None
+    activation_overhead: float | None = None
+    #: Overrides on DEFAULT_CALIBRATION, e.g. {"net_efficiency": 0.25}.
+    calibration: tuple[tuple[str, float], ...] | None = None
+    #: Optional human label; never affects resolution, equality or the
+    #: slug (two runs of the same cell compare equal however labelled).
+    name: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        # Normalize list-ish inputs so scenarios hash/compare cleanly.
+        methods = self.methods
+        if isinstance(methods, str):
+            methods = tuple(m for m in methods.split(",") if m)
+        object.__setattr__(self, "methods", tuple(methods))
+        if not self.methods:
+            raise ValueError("scenario needs at least one method")
+        if self.calibration is not None:
+            calib = self.calibration
+            if isinstance(calib, dict):
+                calib = tuple(sorted(calib.items()))
+            object.__setattr__(self, "calibration", tuple(
+                (str(k), float(v)) for k, v in calib
+            ))
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    # -- derived views --------------------------------------------------------
+
+    def calibration_overrides(self) -> dict[str, float]:
+        return dict(self.calibration) if self.calibration else {}
+
+    def replace(self, **changes) -> "Scenario":
+        """A copy with selected fields changed."""
+        return replace(self, **changes)
+
+    def split_methods(self) -> list["Scenario"]:
+        """One single-method scenario per method (the parallel work unit).
+
+        Resolution depends only on (model, dataset, cluster, load) —
+        never on the method set — so the split scenarios replay the
+        exact same trace and their merged results equal a joint run.
+        """
+        return [self.replace(methods=(m,)) for m in self.methods]
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dict (calibration as a plain mapping)."""
+        out = dataclasses.asdict(self)
+        out["methods"] = list(self.methods)
+        out["calibration"] = (dict(self.calibration)
+                              if self.calibration else None)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scenario field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        kwargs = dict(data)
+        if isinstance(kwargs.get("methods"), list):
+            kwargs["methods"] = tuple(kwargs["methods"])
+        return cls(**kwargs)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    def slug(self) -> str:
+        """Deterministic filesystem-friendly identifier.
+
+        Derived from the resolution-relevant fields only — the ``name``
+        label never changes the slug.
+        """
+        payload = self.to_dict()
+        del payload["name"]
+        canonical = json.dumps(payload, sort_keys=True)
+        digest = hashlib.md5(canonical.encode()).hexdigest()[:8]
+        parts = [self.model, self.dataset, self.prefill_gpu,
+                 "+".join(self.methods)]
+        base = "-".join(p.lower().replace("/", "_") for p in parts)
+        return f"{base}-{digest}"
+
+    def describe(self) -> str:
+        """One-line human summary (used by the CLI)."""
+        bits = [f"model={self.model}", f"dataset={self.dataset}",
+                f"prefill={self.prefill_gpu}", f"decode={self.decode_gpu}",
+                f"methods={','.join(self.methods)}"]
+        for fname in ("rps", "load_factor", "n_requests", "seed", "scale",
+                      "n_prefill_replicas", "n_decode_replicas"):
+            value = getattr(self, fname)
+            if value is not None and (fname != "scale" or value != 1.0):
+                bits.append(f"{fname}={value}")
+        if self.pipelining:
+            bits.append("pipelining")
+        return " ".join(bits)

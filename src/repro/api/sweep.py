@@ -1,0 +1,107 @@
+"""Cartesian scenario grids: the :class:`Sweep`.
+
+A sweep is a base :class:`~repro.api.scenario.Scenario` plus named axes
+— any Scenario field mapped to a list of values — expanded row-major
+(later axes vary fastest) into the full cartesian grid.  Like the
+Scenario itself it is JSON-(de)serializable, so whole evaluation grids
+(the FlowKV/KVServe-style model × method × load matrices) can live in
+version control and be replayed bit-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, replace
+
+from .scenario import Scenario
+
+__all__ = ["Sweep"]
+
+_SCENARIO_FIELDS = {f.name for f in dataclasses.fields(Scenario)}
+
+
+def _freeze(value):
+    """Lists inside axis values become tuples (e.g. a methods axis)."""
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A cartesian grid of scenarios over ``base``."""
+
+    base: Scenario
+    #: Ordered (field, values) pairs; dicts are accepted and frozen.
+    axes: tuple[tuple[str, tuple], ...] = ()
+
+    def __post_init__(self) -> None:
+        axes = self.axes
+        if isinstance(axes, dict):
+            axes = tuple(axes.items())
+        frozen = []
+        for name, values in axes:
+            if name not in _SCENARIO_FIELDS or name == "name":
+                raise ValueError(f"{name!r} is not a sweepable Scenario field")
+            values = tuple(_freeze(v) for v in values)
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+            frozen.append((name, values))
+        object.__setattr__(self, "axes", tuple(frozen))
+
+    def __len__(self) -> int:
+        n = 1
+        for _, values in self.axes:
+            n *= len(values)
+        return n
+
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.axes)
+
+    def override(self, **changes) -> "Sweep":
+        """A sweep with base-scenario fields changed (e.g. ``scale``)."""
+        return replace(self, base=self.base.replace(**changes))
+
+    def expand(self) -> list[Scenario]:
+        """The full grid, row-major (later axes vary fastest)."""
+        if not self.axes:
+            return [self.base]
+        names = [name for name, _ in self.axes]
+        grids = [values for _, values in self.axes]
+        out = []
+        for combo in itertools.product(*grids):
+            changes = dict(zip(names, combo))
+            label = " ".join(f"{n}={_label(v)}" for n, v in changes.items())
+            out.append(self.base.replace(name=label, **changes))
+        return out
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "base": self.base.to_dict(),
+            "axes": {name: list(values) for name, values in self.axes},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Sweep":
+        unknown = set(data) - {"base", "axes"}
+        if unknown:
+            raise ValueError(f"unknown sweep field(s) {sorted(unknown)}")
+        return cls(base=Scenario.from_dict(data.get("base", {})),
+                   axes=tuple(data.get("axes", {}).items()))
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Sweep":
+        return cls.from_dict(json.loads(text))
+
+
+def _label(value) -> str:
+    if isinstance(value, tuple):
+        return ",".join(str(v) for v in value)
+    return str(value)

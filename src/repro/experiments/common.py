@@ -1,58 +1,89 @@
-"""Shared experiment machinery (§7.1 defaults).
+"""Shared experiment machinery (§7.1 defaults) — now a thin layer over
+:mod:`repro.api`.
 
-Every experiment module calls :func:`run_methods` with the paper's
-deployment (Table 2/3 fleets, A100 decode) and workload (Table 4
-traces at the baseline system's capacity — "RPS set to the maximum
-processing capacity").  ``scale`` shrinks the trace for quick benchmark
-runs without changing the regime.
+Every experiment module expresses its grid as declarative
+:class:`~repro.api.Scenario` / :class:`~repro.api.Sweep` definitions and
+runs them through a :class:`~repro.api.Runner`.  The historical
+:func:`run_methods` keyword interface is kept for tests, benchmarks and
+notebooks; it simply builds a Scenario and returns the simulation
+results from its artifact.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
-from ..methods.registry import get_method
-from ..model.config import ModelSpec, get_model
+from ..api.artifact import RunArtifact
+from ..api.runner import Runner
+from ..api.scenario import (
+    DEFAULT_LOAD_FACTOR,
+    DEFAULT_N_REQUESTS,
+    DEFAULT_SEED,
+    Scenario,
+    model_dataset,
+)
+from ..api.sweep import Sweep
+from ..model.config import MODEL_LETTERS as MODEL_REGISTRY, ModelSpec
 from ..perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
-from ..sim.capacity import experiment_rps
-from ..sim.engine import SimulationResult, default_cluster, simulate
-from ..workload.datasets import get_dataset
-from ..workload.traces import generate_trace
+from ..sim.engine import SimulationResult
 
 __all__ = ["ExperimentDefaults", "DEFAULTS", "run_methods", "jct_reduction",
-           "model_dataset"]
-
-#: §7.1 operating point: the cluster is loaded slightly past the
-#: baseline's bottleneck capacity, the regime where the paper's JCT
-#: gaps appear (the baseline queues; compressed methods keep headroom).
-_LOAD_FACTOR = 1.05
+           "model_dataset", "make_scenario", "run_grid"]
 
 
 @dataclass(frozen=True)
 class ExperimentDefaults:
     """Trace size and load shared by the JCT experiments."""
 
-    n_requests: int = 120
-    load_factor: float = _LOAD_FACTOR
-    seed: int = 1
+    n_requests: int = DEFAULT_N_REQUESTS
+    load_factor: float = DEFAULT_LOAD_FACTOR
+    seed: int = DEFAULT_SEED
 
 
 DEFAULTS = ExperimentDefaults()
 
 
-def model_dataset(model: ModelSpec, dataset_name: str) -> tuple[str, int | None]:
-    """Resolve the paper's model↔dataset pairing quirks.
-
-    Falcon-180B cannot process Cocktail (2K context); the paper
-    substitutes arXiv capped to Falcon's window ("F-arXiv").  Returns
-    ``(dataset_name, max_context)``.
-    """
-    ds = get_dataset(dataset_name)
-    if ds.input_len.minimum >= model.max_context:
-        return "arxiv", model.max_context
-    if ds.input_len.maximum > model.max_context:
-        return dataset_name, model.max_context
-    return dataset_name, None
+def make_scenario(
+    methods: tuple[str, ...],
+    model: str | ModelSpec = "L",
+    prefill_gpu: str = "A10G",
+    dataset: str = "cocktail",
+    n_requests: int | None = None,
+    load_factor: float | None = None,
+    seed: int | None = None,
+    pipelining: bool = False,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    rps: float | None = None,
+    scale: float = 1.0,
+) -> Scenario:
+    """Build a Scenario from the historical ``run_methods`` keywords."""
+    if isinstance(model, ModelSpec):
+        # Scenarios are JSON-serializable, so they reference models by
+        # registry name; an unregistered or modified spec cannot be
+        # expressed and must not be silently swapped for the stock one.
+        registered = MODEL_REGISTRY.get(model.letter)
+        if registered != model:
+            raise ValueError(
+                f"model spec {model.name!r} is not the registry entry for "
+                f"letter {model.letter!r}; scenarios reference models by "
+                "registry name — register the spec or pass its name"
+            )
+        model_name = model.letter
+    else:
+        model_name = model
+    overrides = None
+    if calib != DEFAULT_CALIBRATION:
+        defaults = dataclasses.asdict(DEFAULT_CALIBRATION)
+        overrides = tuple(
+            (k, v) for k, v in sorted(dataclasses.asdict(calib).items())
+            if v != defaults[k]
+        )
+    return Scenario(model=model_name, methods=tuple(methods),
+                    dataset=dataset, prefill_gpu=prefill_gpu,
+                    n_requests=n_requests, load_factor=load_factor,
+                    seed=seed, pipelining=pipelining, rps=rps, scale=scale,
+                    calibration=overrides)
 
 
 def run_methods(
@@ -74,27 +105,19 @@ def run_methods(
     rate, exactly as the paper compares them.  ``scale`` multiplies the
     trace length (use < 1 for quick runs).
     """
-    spec = model if isinstance(model, ModelSpec) else get_model(model)
-    dataset_name, max_context = model_dataset(spec, dataset)
-    lf = DEFAULTS.load_factor if load_factor is None else load_factor
-    sd = DEFAULTS.seed if seed is None else seed
-    if rps is None:
-        rps = experiment_rps(spec, prefill_gpu, dataset_name, calib=calib,
-                             load_factor=lf)
-    if n_requests is None:
-        # Cover a comparable wall-clock horizon for every dataset: fast
-        # workloads (short prompts at tens of RPS) need more requests
-        # for queues at the bottleneck stage to become visible.
-        n_requests = int(max(DEFAULTS.n_requests, min(600, rps * 30)))
-    n = max(10, int(n_requests * scale))
-    trace = generate_trace(dataset_name, rps, n, seed=sd,
-                           max_context=max_context)
-    results = {}
-    for name in methods:
-        config = default_cluster(spec, get_method(name), prefill_gpu,
-                                 calib=calib, pipelining=pipelining)
-        results[name] = simulate(config, trace)
-    return results
+    scenario = make_scenario(methods, model=model, prefill_gpu=prefill_gpu,
+                             dataset=dataset, n_requests=n_requests,
+                             load_factor=load_factor, seed=seed,
+                             pipelining=pipelining, calib=calib, rps=rps,
+                             scale=scale)
+    return Runner().run(scenario).results
+
+
+def run_grid(sweep: Sweep, scale: float = 1.0,
+             runner: Runner | None = None) -> list[RunArtifact]:
+    """Run a sweep at ``scale`` (the experiment modules' entry path)."""
+    runner = runner or Runner()
+    return runner.run_sweep(sweep.override(scale=scale))
 
 
 def jct_reduction(results: dict[str, SimulationResult], method: str,

@@ -22,12 +22,16 @@ from dataclasses import dataclass
 from ..accuracy.anchor import calibrate_kappa, dataset_sensitivity
 from ..accuracy.harness import attention_error, rqe_extra_error
 from ..analysis.tables import SeriesFigure, Table
+from ..api import Runner, Scenario, Sweep
 from ..methods.registry import ABLATIONS
 from ..sim.engine import SimulationResult
-from .common import run_methods
+from .common import run_grid
 from .fig1_motivation import DATASETS
 
-__all__ = ["AblationResult", "RqeAccuracyResult", "run_fig13", "run_table7"]
+__all__ = ["AblationResult", "RqeAccuracyResult", "run_fig13", "run_table7",
+           "FIG13_SWEEP"]
+
+FIG13_SWEEP = Sweep(Scenario(methods=ABLATIONS), axes={"dataset": DATASETS})
 
 
 @dataclass
@@ -44,13 +48,14 @@ class AblationResult:
         return self.jct.render()
 
 
-def run_fig13(scale: float = 1.0) -> AblationResult:
+def run_fig13(scale: float = 1.0,
+              runner: Runner | None = None) -> AblationResult:
     """Fig. 13: JCT of HACK, HACK/SE, HACK/RQE by dataset."""
     jct = SeriesFigure("Fig 13: average JCT (s), SE/RQE ablations "
                        "(Llama-70B, A10G)", "method", list(ABLATIONS))
     results = {}
-    for dataset in DATASETS:
-        res = run_methods(ABLATIONS, dataset=dataset, scale=scale)
+    for art in run_grid(FIG13_SWEEP, scale, runner):
+        dataset, res = art.scenario.dataset, art.results
         results[dataset] = res
         jct.add_series(dataset, [res[m].avg_jct() for m in ABLATIONS])
     return AblationResult(jct=jct, results=results)

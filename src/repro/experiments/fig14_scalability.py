@@ -6,6 +6,12 @@ One Llama-70B decode replica on half an A100 instance (4 GPUs,
 pressure pile onto the single decode replica while quantized methods
 barely notice.
 
+The grid is a list of declarative scenarios (one per ``p``) built by
+:func:`scenarios` — the arrival rate is *coupled* to ``p``, which a
+plain cartesian sweep cannot express, so this experiment demonstrates
+the API's escape hatch: hand ``Runner.run_many`` an explicit scenario
+list.
+
 Shape: baseline JCT grows steeply (the paper: +127% from p=1→8) while
 CacheGen/KVQuant/HACK grow only ~30–45%.
 """
@@ -15,28 +21,53 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.tables import SeriesFigure
+from ..api import Runner, Scenario
 from ..methods.registry import PAPER_COMPARISON, get_method
 from ..model.config import get_model
 from ..perfmodel.calibration import DEFAULT_CALIBRATION
 from ..sim.capacity import stage_capacities
-from ..sim.engine import ClusterConfig, SimulationResult, simulate
+from ..sim.engine import ClusterConfig, SimulationResult
 from ..workload.datasets import get_dataset
-from ..workload.traces import generate_trace
 
-__all__ = ["ScalabilityResult", "run", "P_VALUES"]
+__all__ = ["ScalabilityResult", "run", "scenarios", "P_VALUES"]
 
 P_VALUES = (1, 2, 3, 4, 5, 6, 7, 8)
 
 
-def _config(method_name: str, p: int) -> ClusterConfig:
+def _probe_config() -> ClusterConfig:
+    """The single-replica baseline cluster used to size the load."""
     return ClusterConfig(
         model=get_model("L"),
-        method=get_method(method_name),
+        method=get_method("baseline"),
         prefill_gpu="A10G",
-        n_prefill_replicas=p,
+        n_prefill_replicas=1,
         n_decode_replicas=1,
         calib=DEFAULT_CALIBRATION,
     )
+
+
+def rps_per_p(p_values: tuple[int, ...] = P_VALUES) -> float:
+    """Arrival-rate slope: p=max loads the single baseline decode
+    replica at ~90% of its capacity (the paper's "RPS = 0.02p" scaled
+    to this calibration)."""
+    _, _, decode_rps = stage_capacities(_probe_config(),
+                                        get_dataset("cocktail"))
+    return 0.9 * decode_rps / max(p_values)
+
+
+def scenarios(scale: float = 1.0, p_values: tuple[int, ...] = P_VALUES,
+              n_requests: int = 96, seed: int = 2,
+              slope: float | None = None) -> list[Scenario]:
+    """One scenario per ``p``, with RPS ∝ p (``slope`` per unit p)."""
+    if slope is None:
+        slope = rps_per_p(p_values)
+    return [
+        Scenario(model="L", methods=PAPER_COMPARISON, dataset="cocktail",
+                 prefill_gpu="A10G", n_prefill_replicas=p,
+                 n_decode_replicas=1, rps=slope * p, n_requests=n_requests,
+                 seed=seed, scale=scale, name=f"p={p}")
+        for p in p_values
+    ]
 
 
 @dataclass
@@ -56,29 +87,22 @@ class ScalabilityResult:
 
 
 def run(scale: float = 1.0, p_values: tuple[int, ...] = P_VALUES,
-        n_requests: int = 96, seed: int = 2) -> ScalabilityResult:
-    """Reproduce Fig. 14 over ``p_values``.
-
-    The per-p arrival rate is chosen so that p=max loads the single
-    baseline decode replica at ~90% of its capacity (the paper's
-    "RPS = 0.02p" scaled to this calibration).
-    """
-    _, _, decode_rps = stage_capacities(_config("baseline", 1),
-                                        get_dataset("cocktail"))
-    rps_per_p = 0.9 * decode_rps / max(p_values)
+        n_requests: int = 96, seed: int = 2,
+        runner: Runner | None = None) -> ScalabilityResult:
+    """Reproduce Fig. 14 over ``p_values``."""
+    slope = rps_per_p(p_values)
+    grid = scenarios(scale=scale, p_values=p_values, n_requests=n_requests,
+                     seed=seed, slope=slope)
+    artifacts = (runner or Runner()).run_many(grid)
 
     jct = SeriesFigure("Fig 14: average JCT (s) vs prefill:decode ratio p",
                        "p", list(p_values))
     results: dict[int, dict[str, SimulationResult]] = {}
     series: dict[str, list[float]] = {m: [] for m in PAPER_COMPARISON}
-    for p in p_values:
-        trace = generate_trace("cocktail", rps_per_p * p,
-                               max(10, int(n_requests * scale)), seed=seed)
-        results[p] = {}
+    for p, art in zip(p_values, artifacts):
+        results[p] = art.results
         for method in PAPER_COMPARISON:
-            res = simulate(_config(method, p), trace)
-            results[p][method] = res
-            series[method].append(res.avg_jct())
+            series[method].append(art.results[method].avg_jct())
     for method in PAPER_COMPARISON:
         jct.add_series(method, series[method])
-    return ScalabilityResult(jct=jct, results=results, rps_per_p=rps_per_p)
+    return ScalabilityResult(jct=jct, results=results, rps_per_p=slope)

@@ -10,6 +10,9 @@ Four panels:
 * (d) the communication ratio under layer-wise pipelining as RPS grows
   (0.06–0.18), across the five prefill GPUs.
 
+Each panel is a declarative :class:`~repro.api.Sweep` over the baseline
+scenario; see the module-level ``*_SWEEP`` constants.
+
 Shapes to reproduce: A100's comm ratio is small (<10%) while 10–50 Gbps
 instances sit in the tens of percent; long-sequence datasets dominate
 short ones in both comm and compute; pipelining helps only while comm
@@ -21,10 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.tables import SeriesFigure
-from ..model.config import get_model
-from .common import run_methods
+from ..api import Runner, Scenario, Sweep
+from .common import run_grid
 
-__all__ = ["MotivationResult", "run", "GPUS", "MODEL_LETTERS", "DATASETS"]
+__all__ = ["MotivationResult", "run", "GPUS", "MODEL_LETTERS", "DATASETS",
+           "BY_GPU_SWEEP", "BY_MODEL_SWEEP", "BY_DATASET_SWEEP",
+           "PIPELINE_SWEEP"]
 
 GPUS = ("A10G", "V100", "T4", "L4", "A100")
 MODEL_LETTERS = ("M", "P", "Y", "L", "F")
@@ -32,6 +37,18 @@ DATASETS = ("imdb", "arxiv", "cocktail", "humaneval")
 PIPELINE_RPS = (0.06, 0.10, 0.14, 0.18)
 
 _RATIO_KEYS = ("prefill", "comm", "decode")
+
+_BASELINE = Scenario(methods=("baseline",))
+BY_GPU_SWEEP = Sweep(_BASELINE, axes={"prefill_gpu": GPUS})
+BY_MODEL_SWEEP = Sweep(_BASELINE, axes={"model": MODEL_LETTERS})
+BY_DATASET_SWEEP = Sweep(_BASELINE, axes={"dataset": DATASETS})
+PIPELINE_SWEEP = Sweep(_BASELINE.replace(pipelining=True),
+                       axes={"prefill_gpu": GPUS, "rps": PIPELINE_RPS})
+
+
+def model_label(letter: str) -> str:
+    """Falcon runs on capped arXiv (the F-arXiv substitution)."""
+    return "F-arXiv" if letter == "F" else letter
 
 
 @dataclass
@@ -59,40 +76,38 @@ def _ratios(result) -> dict[str, float]:
     }
 
 
-def run(scale: float = 1.0) -> MotivationResult:
+def run(scale: float = 1.0, runner: Runner | None = None) -> MotivationResult:
     """Reproduce all four panels of Fig. 1."""
     by_gpu = SeriesFigure("Fig 1(a): baseline time ratios by prefill GPU "
                           "(Llama-70B, Cocktail)", "bucket", list(_RATIO_KEYS))
-    for gpu in GPUS:
-        res = run_methods(("baseline",), prefill_gpu=gpu, scale=scale)
-        ratios = _ratios(res["baseline"])
-        by_gpu.add_series(gpu, [ratios[k] for k in _RATIO_KEYS])
+    for art in run_grid(BY_GPU_SWEEP, scale, runner):
+        ratios = _ratios(art.results["baseline"])
+        by_gpu.add_series(art.scenario.prefill_gpu,
+                          [ratios[k] for k in _RATIO_KEYS])
 
     by_model = SeriesFigure("Fig 1(b): baseline time ratios by model "
                             "(A10G prefill)", "bucket", list(_RATIO_KEYS))
-    for letter in MODEL_LETTERS:
-        label = "F-arXiv" if letter == "F" else letter
-        res = run_methods(("baseline",), model=get_model(letter), scale=scale)
-        ratios = _ratios(res["baseline"])
-        by_model.add_series(label, [ratios[k] for k in _RATIO_KEYS])
+    for art in run_grid(BY_MODEL_SWEEP, scale, runner):
+        ratios = _ratios(art.results["baseline"])
+        by_model.add_series(model_label(art.scenario.model),
+                            [ratios[k] for k in _RATIO_KEYS])
 
     by_dataset = SeriesFigure("Fig 1(c): baseline time ratios by dataset "
                               "(Llama-70B, A10G)", "bucket", list(_RATIO_KEYS))
-    for dataset in DATASETS:
-        res = run_methods(("baseline",), dataset=dataset, scale=scale)
-        ratios = _ratios(res["baseline"])
-        by_dataset.add_series(dataset, [ratios[k] for k in _RATIO_KEYS])
+    for art in run_grid(BY_DATASET_SWEEP, scale, runner):
+        ratios = _ratios(art.results["baseline"])
+        by_dataset.add_series(art.scenario.dataset,
+                              [ratios[k] for k in _RATIO_KEYS])
 
     pipelining = SeriesFigure("Fig 1(d): comm ratio with pipelining vs RPS "
                               "(Llama-70B, Cocktail)", "RPS",
                               list(PIPELINE_RPS))
+    comm: dict[str, list[float]] = {gpu: [] for gpu in GPUS}
+    for art in run_grid(PIPELINE_SWEEP, scale, runner):
+        comm[art.scenario.prefill_gpu].append(
+            _ratios(art.results["baseline"])["comm"])
     for gpu in GPUS:
-        comm = []
-        for rps in PIPELINE_RPS:
-            res = run_methods(("baseline",), prefill_gpu=gpu, rps=rps,
-                              pipelining=True, scale=scale)
-            comm.append(_ratios(res["baseline"])["comm"])
-        pipelining.add_series(gpu, comm)
+        pipelining.add_series(gpu, comm[gpu])
 
     return MotivationResult(by_gpu=by_gpu, by_model=by_model,
                             by_dataset=by_dataset, pipelining=pipelining)

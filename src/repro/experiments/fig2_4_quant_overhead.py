@@ -4,6 +4,10 @@ Repeats the Fig. 1 sweeps with the two KV-quantization comparators:
 communication shrinks dramatically, but a new dequantization bucket
 appears at 15–38% of JCT — the overhead HACK exists to remove.
 
+The grids are declarative :class:`~repro.api.Sweep` definitions with a
+``methods`` axis (each method is its own scenario, replaying the same
+per-cell trace, exactly as the paper compares them).
+
 Shapes: comm ratio far below the baseline's on every axis; the dequant
 ratio largest on long-sequence datasets (12–25× the short ones).
 """
@@ -13,14 +17,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.tables import SeriesFigure
-from ..model.config import get_model
-from .common import run_methods
-from .fig1_motivation import DATASETS, GPUS, MODEL_LETTERS
+from ..api import Runner, Scenario, Sweep
+from .common import run_grid
+from .fig1_motivation import DATASETS, GPUS, MODEL_LETTERS, model_label
 
-__all__ = ["QuantOverheadResult", "run"]
+__all__ = ["QuantOverheadResult", "run", "METHODS", "BY_GPU_SWEEP",
+           "BY_MODEL_SWEEP", "BY_DATASET_SWEEP"]
 
 _RATIO_KEYS = ("prefill", "comm", "dequant", "decode")
 METHODS = ("cachegen", "kvquant")
+
+_METHOD_AXIS = {"methods": [(m,) for m in METHODS]}
+BY_GPU_SWEEP = Sweep(Scenario(), axes={**_METHOD_AXIS, "prefill_gpu": GPUS})
+BY_MODEL_SWEEP = Sweep(Scenario(), axes={**_METHOD_AXIS,
+                                         "model": MODEL_LETTERS})
+BY_DATASET_SWEEP = Sweep(Scenario(), axes={**_METHOD_AXIS,
+                                           "dataset": DATASETS})
 
 
 @dataclass
@@ -48,31 +60,30 @@ def _ratios(result) -> list[float]:
     ]
 
 
-def run(scale: float = 1.0) -> QuantOverheadResult:
+def _panels(sweep: Sweep, title: str, series_of, scale: float,
+            runner: Runner | None) -> dict[str, SeriesFigure]:
+    figures = {
+        m: SeriesFigure(title.format(method=m), "bucket", list(_RATIO_KEYS))
+        for m in METHODS
+    }
+    for art in run_grid(sweep, scale, runner):
+        method = art.scenario.methods[0]
+        figures[method].add_series(series_of(art.scenario),
+                                   _ratios(art.results[method]))
+    return figures
+
+
+def run(scale: float = 1.0,
+        runner: Runner | None = None) -> QuantOverheadResult:
     """Reproduce Figs. 2 (by GPU), 3 (by model) and 4 (by dataset)."""
-    by_gpu, by_model, by_dataset = {}, {}, {}
-    for method in METHODS:
-        fig = SeriesFigure(f"Fig 2: {method} time ratios by prefill GPU",
-                           "bucket", list(_RATIO_KEYS))
-        for gpu in GPUS:
-            res = run_methods((method,), prefill_gpu=gpu, scale=scale)
-            fig.add_series(gpu, _ratios(res[method]))
-        by_gpu[method] = fig
-
-        fig = SeriesFigure(f"Fig 3: {method} time ratios by model",
-                           "bucket", list(_RATIO_KEYS))
-        for letter in MODEL_LETTERS:
-            label = "F-arXiv" if letter == "F" else letter
-            res = run_methods((method,), model=get_model(letter), scale=scale)
-            fig.add_series(label, _ratios(res[method]))
-        by_model[method] = fig
-
-        fig = SeriesFigure(f"Fig 4: {method} time ratios by dataset",
-                           "bucket", list(_RATIO_KEYS))
-        for dataset in DATASETS:
-            res = run_methods((method,), dataset=dataset, scale=scale)
-            fig.add_series(dataset, _ratios(res[method]))
-        by_dataset[method] = fig
-
+    by_gpu = _panels(BY_GPU_SWEEP,
+                     "Fig 2: {method} time ratios by prefill GPU",
+                     lambda s: s.prefill_gpu, scale, runner)
+    by_model = _panels(BY_MODEL_SWEEP,
+                       "Fig 3: {method} time ratios by model",
+                       lambda s: model_label(s.model), scale, runner)
+    by_dataset = _panels(BY_DATASET_SWEEP,
+                         "Fig 4: {method} time ratios by dataset",
+                         lambda s: s.dataset, scale, runner)
     return QuantOverheadResult(by_gpu=by_gpu, by_model=by_model,
                                by_dataset=by_dataset)

@@ -6,6 +6,9 @@
 * Fig. 11: average JCT by model (Cocktail; Falcon on capped arXiv).
 * Fig. 12: average JCT by prefill GPU (Llama-70B, Cocktail).
 
+Each figure is one declarative :class:`~repro.api.Sweep` of the paper's
+four-way comparison scenario over a single axis.
+
 Shapes: HACK < CacheGen ≤ KVQuant < Baseline everywhere; HACK's gain
 over the baseline peaks on the lowest-bandwidth instance (V100) and its
 gain over the quantization comparators is smallest there (no INT8).
@@ -16,16 +19,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.tables import SeriesFigure, Table
+from ..api import Runner, Scenario, Sweep
 from ..methods.registry import PAPER_COMPARISON
-from ..model.config import get_model
 from ..sim.engine import SimulationResult
-from .common import jct_reduction, run_methods
-from .fig1_motivation import DATASETS, GPUS, MODEL_LETTERS
+from .common import jct_reduction, run_grid
+from .fig1_motivation import DATASETS, GPUS, MODEL_LETTERS, model_label
 
 __all__ = ["JctByDataset", "JctByModel", "JctByGpu", "run_fig9_fig10",
-           "run_fig11", "run_fig12"]
+           "run_fig11", "run_fig12", "FIG9_SWEEP", "FIG11_SWEEP",
+           "FIG12_SWEEP"]
 
 _BUCKETS = ("prefill", "quant", "comm", "dequant_or_approx", "decode", "queue")
+
+_COMPARISON = Scenario(methods=PAPER_COMPARISON)
+FIG9_SWEEP = Sweep(_COMPARISON, axes={"dataset": DATASETS})
+FIG11_SWEEP = Sweep(_COMPARISON, axes={"model": MODEL_LETTERS})
+FIG12_SWEEP = Sweep(_COMPARISON, axes={"prefill_gpu": GPUS})
 
 
 @dataclass
@@ -45,15 +54,16 @@ class JctByDataset:
         return "\n\n".join(parts)
 
 
-def run_fig9_fig10(scale: float = 1.0) -> JctByDataset:
+def run_fig9_fig10(scale: float = 1.0,
+                   runner: Runner | None = None) -> JctByDataset:
     """Average JCT and its decomposition across datasets."""
     jct = SeriesFigure("Fig 9: average JCT (s) by dataset "
                        "(Llama-70B, A10G prefill)", "method",
                        list(PAPER_COMPARISON))
     decomposition = {}
     results = {}
-    for dataset in DATASETS:
-        res = run_methods(PAPER_COMPARISON, dataset=dataset, scale=scale)
+    for art in run_grid(FIG9_SWEEP, scale, runner):
+        dataset, res = art.scenario.dataset, art.results
         results[dataset] = res
         jct.add_series(dataset, [res[m].avg_jct() for m in PAPER_COMPARISON])
         table = Table(f"Fig 10: JCT decomposition (s) — {dataset}",
@@ -77,15 +87,13 @@ class JctByModel:
         return self.jct.render()
 
 
-def run_fig11(scale: float = 1.0) -> JctByModel:
+def run_fig11(scale: float = 1.0, runner: Runner | None = None) -> JctByModel:
     """Average JCT across models (Cocktail / F-arXiv, A10G prefill)."""
     jct = SeriesFigure("Fig 11: average JCT (s) by model (A10G prefill)",
                        "method", list(PAPER_COMPARISON))
     results = {}
-    for letter in MODEL_LETTERS:
-        label = "F-arXiv" if letter == "F" else letter
-        res = run_methods(PAPER_COMPARISON, model=get_model(letter),
-                          scale=scale)
+    for art in run_grid(FIG11_SWEEP, scale, runner):
+        label, res = model_label(art.scenario.model), art.results
         results[label] = res
         jct.add_series(label, [res[m].avg_jct() for m in PAPER_COMPARISON])
     return JctByModel(jct=jct, results=results)
@@ -103,14 +111,14 @@ class JctByGpu:
         return self.jct.render()
 
 
-def run_fig12(scale: float = 1.0) -> JctByGpu:
+def run_fig12(scale: float = 1.0, runner: Runner | None = None) -> JctByGpu:
     """Average JCT across prefill GPUs (Llama-70B, Cocktail)."""
     jct = SeriesFigure("Fig 12: average JCT (s) by prefill instance "
                        "(Llama-70B, Cocktail)", "method",
                        list(PAPER_COMPARISON))
     results = {}
-    for gpu in GPUS:
-        res = run_methods(PAPER_COMPARISON, prefill_gpu=gpu, scale=scale)
+    for art in run_grid(FIG12_SWEEP, scale, runner):
+        gpu, res = art.scenario.prefill_gpu, art.results
         results[gpu] = res
         jct.add_series(gpu, [res[m].avg_jct() for m in PAPER_COMPARISON])
     return JctByGpu(jct=jct, results=results)

@@ -4,7 +4,8 @@ Replays the paper's simulation: KV stored in FP4/6/8 (MX block scales),
 converted to FP16 before attention on pre-H100 GPUs (a per-iteration
 materialization cost), with FP8's matmul time halved to *simulate* FP8
 compute.  Measures the average communication time ratio and the KV
-memory-access ratio for Llama-70B + Cocktail across prefill instances.
+memory-access ratio for Llama-70B + Cocktail across prefill instances
+— one declarative sweep of the FP-format scenario over the GPU axis.
 
 Shape: comm ratio ordering FP4 < FP6 < FP8, all far above the 2-bit
 methods — FP formats cannot compress enough to fix the transfer
@@ -16,12 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.tables import SeriesFigure
+from ..api import Runner, Scenario, Sweep
 from ..methods.registry import FP_FORMAT_METHODS
 from ..sim.engine import SimulationResult
-from .common import run_methods
+from .common import run_grid
 from .fig1_motivation import GPUS
 
-__all__ = ["FpFormatsResult", "run"]
+__all__ = ["FpFormatsResult", "run", "FP_SWEEP"]
+
+_METHODS = (*FP_FORMAT_METHODS, "hack")
+FP_SWEEP = Sweep(Scenario(methods=_METHODS), axes={"prefill_gpu": GPUS})
 
 
 @dataclass
@@ -34,21 +39,21 @@ class FpFormatsResult:
         return "\n\n".join((self.comm.render(), self.kv_access.render()))
 
 
-def run(scale: float = 1.0) -> FpFormatsResult:
+def run(scale: float = 1.0, runner: Runner | None = None) -> FpFormatsResult:
     """Reproduce the §3 FP4/6/8 ratios (plus HACK for contrast)."""
-    methods = (*FP_FORMAT_METHODS, "hack")
     comm = SeriesFigure("Sec 3: average comm time ratio (%) by prefill GPU",
-                        "method", list(methods))
+                        "method", list(_METHODS))
     kv_access = SeriesFigure("Sec 3: KV memory access ratio of JCT (%)",
-                             "method", list(methods))
+                             "method", list(_METHODS))
     results: dict[str, dict[str, SimulationResult]] = {}
-    for gpu in GPUS:
-        res = run_methods(methods, prefill_gpu=gpu, scale=scale)
+    for art in run_grid(FP_SWEEP, scale, runner):
+        gpu = art.scenario.prefill_gpu
+        res = art.results
         results[gpu] = res
         comm.add_series(gpu, [
-            100 * res[m].mean_ratios()["comm"] for m in methods
+            100 * res[m].mean_ratios()["comm"] for m in _METHODS
         ])
         kv_access.add_series(gpu, [
-            100 * res[m].mean_kv_access_ratio() for m in methods
+            100 * res[m].mean_kv_access_ratio() for m in _METHODS
         ])
     return FpFormatsResult(comm=comm, kv_access=kv_access, results=results)

@@ -16,15 +16,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.tables import Table
+from ..api import Runner, Scenario, Sweep
 from ..core.quantize import sum_storage_bits
 from ..methods.registry import PAPER_COMPARISON, get_method
 from ..model.config import get_model
 from ..workload.datasets import get_dataset
-from .common import run_methods
+from .common import run_grid
 from .fig1_motivation import DATASETS
 
 __all__ = ["MemoryResult", "run", "se_overhead_fraction",
-           "rqe_tail_fraction"]
+           "rqe_tail_fraction", "TABLE5_SWEEP"]
+
+TABLE5_SWEEP = Sweep(Scenario(methods=PAPER_COMPARISON),
+                     axes={"dataset": DATASETS})
 
 
 def se_overhead_fraction(dataset: str, model: str = "L",
@@ -67,15 +71,15 @@ class MemoryResult:
         return "\n".join(lines)
 
 
-def run(scale: float = 1.0) -> MemoryResult:
+def run(scale: float = 1.0, runner: Runner | None = None) -> MemoryResult:
     """Reproduce Table 5 plus the §7.4 overhead numbers."""
     table = Table("Table 5: peak decode GPU memory usage (%)",
                   ["method", *DATASETS])
     peaks: dict[str, dict[str, float]] = {d: {} for d in DATASETS}
-    for dataset in DATASETS:
-        res = run_methods(PAPER_COMPARISON, dataset=dataset, scale=scale)
+    for art in run_grid(TABLE5_SWEEP, scale, runner):
         for method in PAPER_COMPARISON:
-            peaks[dataset][method] = res[method].peak_memory_fraction
+            peaks[art.scenario.dataset][method] = \
+                art.results[method].peak_memory_fraction
     for method in PAPER_COMPARISON:
         table.add_row(method,
                       *(100 * peaks[d][method] for d in DATASETS))

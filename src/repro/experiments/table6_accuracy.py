@@ -56,7 +56,14 @@ class AccuracyResult:
 
 
 def run(n_trials: int = 4, seed: int = 100) -> AccuracyResult:
-    """Reproduce Table 6 (all 19 cells × 6 method rows)."""
+    """Reproduce Table 6 (all 19 cells × 6 method rows).
+
+    This experiment measures quantization error on the numpy accuracy
+    harness — there is no serving trace, so it takes no ``scale`` (the
+    CLI rejects ``--scale`` for it); the declarative grid is the
+    :data:`repro.accuracy.anchor.TABLE6_CELLS` cell list × the
+    :data:`METHOD_ORDER` method rows.
+    """
     # Measure per (dataset, head_dim) — Falcon's 64-wide heads get their
     # own measurements; everyone else shares head_dim=128.
     errors: dict[str, dict[str, float]] = {}

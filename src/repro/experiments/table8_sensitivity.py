@@ -17,13 +17,16 @@ from dataclasses import dataclass
 from ..accuracy.anchor import calibrate_kappa, dataset_sensitivity
 from ..accuracy.harness import attention_error
 from ..analysis.tables import Table
-from .common import run_methods
+from ..api import Runner, Scenario, Sweep
+from .common import run_grid
 from .fig1_motivation import DATASETS
 
-__all__ = ["SensitivityResult", "run"]
+__all__ = ["SensitivityResult", "run", "TABLE8_SWEEP"]
 
 _PI_VALUES = (32, 64, 128)
 _METHODS = tuple(f"hack_pi{pi}" for pi in _PI_VALUES)
+
+TABLE8_SWEEP = Sweep(Scenario(methods=_METHODS), axes={"dataset": DATASETS})
 
 
 @dataclass
@@ -38,15 +41,16 @@ class SensitivityResult:
         return self.table.render()
 
 
-def run(scale: float = 1.0, n_trials: int = 4) -> SensitivityResult:
+def run(scale: float = 1.0, n_trials: int = 4,
+        runner: Runner | None = None) -> SensitivityResult:
     """Reproduce Table 8 across the four datasets."""
     kappa = calibrate_kappa(attention_error("hack_pi64", n_trials=n_trials,
                                             seed=100))
     jct_increase: dict[str, dict[int, float]] = {}
     accuracy_increase: dict[str, dict[int, float]] = {}
 
-    for dataset in DATASETS:
-        res = run_methods(_METHODS, dataset=dataset, scale=scale)
+    for art in run_grid(TABLE8_SWEEP, scale, runner):
+        dataset, res = art.scenario.dataset, art.results
         base_jct = res["hack_pi128"].avg_jct()
         errors = {
             pi: attention_error(f"hack_pi{pi}", n_trials=n_trials, seed=100)

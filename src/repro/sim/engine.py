@@ -89,28 +89,37 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
                     pipelining: bool = False,
                     n_prefill_instances: int | None = None,
                     n_decode_instances: int = DEFAULT_DECODE_COUNT,
+                    decode_gpu: str = "A100",
+                    activation_overhead: float | None = None,
                     ) -> ClusterConfig:
     """The paper's §7.1 deployment for ``model`` on ``prefill_gpu``.
 
     Replica counts derive from the instance fleets (e.g. ten
     g5.12xlarge = 40 A10G = 5 Llama-70B replicas at TP4·PP2) and two
-    p4de.24xlarge for decode.
+    p4de.24xlarge for decode.  ``decode_gpu`` swaps the decode fleet's
+    GPU (default A100, the paper's setup); ``activation_overhead=None``
+    keeps the :class:`ClusterConfig` default.
     """
     gpu = prefill_gpu.upper()
+    dec_gpu = decode_gpu.upper()
     if n_prefill_instances is None:
         n_prefill_instances = DEFAULT_PREFILL_FLEETS[gpu]
     pre = replica_resources(model, gpu)
     inst = instance_for_gpu(gpu)
     n_prefill = max(1, n_prefill_instances * inst.n_gpus
                     // pre.parallelism.n_gpus)
-    dec = replica_resources(model, "A100")
-    dec_inst = instance_for_gpu("A100")
+    dec = replica_resources(model, dec_gpu)
+    dec_inst = instance_for_gpu(dec_gpu)
     n_decode = max(1, n_decode_instances * dec_inst.n_gpus
                    // dec.parallelism.n_gpus)
+    extra = {} if activation_overhead is None else {
+        "activation_overhead": activation_overhead
+    }
     return ClusterConfig(model=model, method=method, prefill_gpu=gpu,
                          n_prefill_replicas=n_prefill,
                          n_decode_replicas=n_decode, calib=calib,
-                         pipelining=pipelining)
+                         pipelining=pipelining, decode_gpu=dec_gpu,
+                         **extra)
 
 
 @dataclass
@@ -174,6 +183,36 @@ class SimulationResult:
         return sum(r.kv_access_s / r.jct for r in self.requests) / len(
             self.requests
         )
+
+    @staticmethod
+    def _nearest_rank(jcts_sorted: list[float], p: float) -> float:
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        rank = max(0, math.ceil(p / 100.0 * len(jcts_sorted)) - 1)
+        return jcts_sorted[rank]
+
+    def jct_percentile(self, p: float) -> float:
+        """JCT at percentile ``p`` (nearest-rank over finished requests)."""
+        return self._nearest_rank(sorted(r.jct for r in self.requests), p)
+
+    def to_records(self) -> list[dict]:
+        """Per-request JSON-ready records (artifact schema v1)."""
+        return [r.record() for r in self.requests]
+
+    def summary(self) -> dict:
+        """Cluster-level statistics as a flat JSON-ready mapping."""
+        jcts = sorted(r.jct for r in self.requests)
+        return {
+            "n_requests": len(jcts),
+            "avg_jct_s": sum(jcts) / len(jcts),
+            "p50_jct_s": self._nearest_rank(jcts, 50),
+            "p95_jct_s": self._nearest_rank(jcts, 95),
+            "p99_jct_s": self._nearest_rank(jcts, 99),
+            "max_jct_s": jcts[-1],
+            "mean_decomposition_s": self.mean_decomposition(),
+            "peak_memory_fraction": self.peak_memory_fraction,
+            "n_swapped": self.n_swapped,
+        }
 
 
 class Simulator:

@@ -86,6 +86,25 @@ class SimRequest:
             "decode": self.decode_s,
         }
 
+    def record(self) -> dict:
+        """Flat JSON-ready record of this request (artifact schema v1).
+
+        Keys are stable: downstream tooling (``repro.api.artifact``,
+        ``repro.cli export``) depends on them.
+        """
+        return {
+            "request_id": self.request_id,
+            "arrival_s": self.arrival,
+            "input_len": self.trace.input_len,
+            "output_len": self.trace.output_len,
+            "prefill_replica": self.prefill_replica,
+            "decode_replica": self.decode_replica,
+            "swapped": self.swapped,
+            "jct_s": self.jct,
+            "decomposition_s": self.decomposition(),
+            "kv_access_s": self.kv_access_s,
+        }
+
     def ratios(self, include_queue: bool = False) -> dict[str, float]:
         """Bucket → fraction.
 

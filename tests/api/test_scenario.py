@@ -1,0 +1,114 @@
+"""Scenario/Sweep declarative layer: construction and JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.api import Scenario, Sweep
+from repro.api.scenario import model_dataset
+from repro.model import get_model
+
+
+class TestScenario:
+    def test_defaults_match_paper_conventions(self):
+        s = Scenario()
+        assert s.model == "L"
+        assert s.dataset == "cocktail"
+        assert s.prefill_gpu == "A10G"
+        assert s.decode_gpu == "A100"
+        assert s.methods == ("baseline",)
+
+    def test_methods_string_is_split(self):
+        s = Scenario(methods="baseline,hack")
+        assert s.methods == ("baseline", "hack")
+
+    def test_empty_methods_rejected(self):
+        with pytest.raises(ValueError, match="at least one method"):
+            Scenario(methods=())
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            Scenario(scale=0)
+
+    def test_json_round_trip(self):
+        s = Scenario(model="Y", methods=("baseline", "hack"), dataset="imdb",
+                     prefill_gpu="V100", decode_gpu="L4", rps=0.25,
+                     seed=7, scale=0.5, pipelining=True,
+                     n_prefill_replicas=3,
+                     calibration={"net_efficiency": 0.5})
+        restored = Scenario.from_json(s.to_json())
+        assert restored == s
+        assert restored.calibration_overrides() == {"net_efficiency": 0.5}
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            Scenario.from_dict({"modle": "L"})
+
+    def test_json_is_deterministic(self):
+        a = Scenario(calibration={"kv_bw_eff": 0.1, "net_efficiency": 0.5})
+        b = Scenario(calibration={"net_efficiency": 0.5, "kv_bw_eff": 0.1})
+        assert a == b
+        assert a.to_json() == b.to_json()
+        assert a.slug() == b.slug()
+
+    def test_slug_distinguishes_scenarios(self):
+        assert Scenario().slug() != Scenario(seed=2).slug()
+
+    def test_name_label_never_affects_identity(self):
+        """A sweep-labelled cell equals the same cell run directly."""
+        plain, labelled = Scenario(), Scenario(name="dataset=cocktail")
+        assert plain == labelled
+        assert plain.slug() == labelled.slug()
+        # …but the label still round-trips through JSON.
+        assert Scenario.from_json(labelled.to_json()).name == \
+            "dataset=cocktail"
+
+    def test_split_methods(self):
+        s = Scenario(methods=("baseline", "hack"), dataset="arxiv")
+        parts = s.split_methods()
+        assert [p.methods for p in parts] == [("baseline",), ("hack",)]
+        assert all(p.dataset == "arxiv" for p in parts)
+
+    def test_model_dataset_falcon_substitution(self):
+        name, cap = model_dataset(get_model("F"), "cocktail")
+        assert (name, cap) == ("arxiv", 2048)
+
+
+class TestSweep:
+    def test_expansion_is_row_major(self):
+        sweep = Sweep(Scenario(), axes={"dataset": ["imdb", "arxiv"],
+                                        "seed": [1, 2]})
+        cells = [(s.dataset, s.seed) for s in sweep.expand()]
+        assert cells == [("imdb", 1), ("imdb", 2),
+                         ("arxiv", 1), ("arxiv", 2)]
+        assert len(sweep) == 4
+
+    def test_methods_axis_freezes_lists(self):
+        sweep = Sweep(Scenario(), axes={"methods": [["baseline"], ["hack"]]})
+        assert [s.methods for s in sweep.expand()] == [("baseline",),
+                                                       ("hack",)]
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="not a sweepable"):
+            Sweep(Scenario(), axes={"nonsense": [1]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            Sweep(Scenario(), axes={"dataset": []})
+
+    def test_json_round_trip(self):
+        sweep = Sweep(Scenario(methods=("hack",)),
+                      axes={"dataset": ["imdb", "cocktail"],
+                            "prefill_gpu": ["A10G", "V100"]})
+        restored = Sweep.from_json(sweep.to_json())
+        assert restored == sweep
+        assert restored.expand() == sweep.expand()
+        # and the JSON itself is valid, deterministic JSON
+        assert json.loads(sweep.to_json())["axes"]["dataset"] == \
+            ["imdb", "cocktail"]
+
+    def test_override_rescales_base(self):
+        sweep = Sweep(Scenario(), axes={"dataset": ["imdb"]})
+        assert sweep.override(scale=0.25).base.scale == 0.25
+        # the original is untouched (sweeps are immutable)
+        assert sweep.base.scale == 1.0
