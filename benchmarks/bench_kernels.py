@@ -16,6 +16,7 @@ from conftest import run_once
 from repro.core import costs, homomorphic_matmul, make_rng, quantize, transpose
 from repro.core.kv_cache import DequantizingKVCache, HackKVCache
 from repro.quant.entropy import decode, encode
+from repro.quant.kvquant import kmeans_1d
 
 
 def test_homomorphic_matmul_kernel(benchmark):
@@ -84,6 +85,43 @@ def test_cache_decode_step_hack_vs_dequant(benchmark):
     benchmark(step)
     assert hack.ledger.dequant_flops == 0
     assert deq.ledger.dequant_flops > 0
+
+
+def _kmeans_1d_python_loop(values, k, n_iter=25):
+    """Pre-vectorization Lloyd's update (per-centroid Python loop) —
+    the before case for the ``kmeans_1d`` bincount rewrite."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    quantiles = (np.arange(k) + 0.5) / k
+    centroids = np.quantile(values, quantiles)
+    for _ in range(n_iter):
+        assignment = np.argmin(np.abs(values[:, None] - centroids[None, :]),
+                               axis=1)
+        for j in range(k):
+            members = values[assignment == j]
+            if members.size:
+                centroids[j] = members.mean()
+    return np.sort(centroids)
+
+
+def test_kmeans_lloyd_python_loop(benchmark):
+    """Before: per-centroid masked-mean loop (k passes over the data)."""
+    rng = make_rng(5)
+    sample = rng.normal(size=8192)
+    out = benchmark(lambda: _kmeans_1d_python_loop(sample, 64))
+    assert out.shape == (64,)
+
+
+def test_kmeans_lloyd_vectorized(benchmark):
+    """After: one ``np.bincount`` pair per Lloyd iteration.
+
+    Must reproduce the loop version's centroids (identical assignments;
+    means agree to accumulation order).
+    """
+    rng = make_rng(5)
+    sample = rng.normal(size=8192)
+    out = benchmark(lambda: kmeans_1d(sample, 64))
+    np.testing.assert_allclose(out, _kmeans_1d_python_loop(sample, 64),
+                               rtol=1e-12, atol=1e-12)
 
 
 def test_wire_size_claim(benchmark):

@@ -1,0 +1,77 @@
+"""Bench: simulator throughput — span fast-forwarding vs token stepping.
+
+Runs a fig9-style scenario (Llama-70B, A10G prefill, the paper's
+four-way method comparison) in both decode step modes and reports
+simulated decode tokens per wall-clock second, the speedup, and a
+differential check that both modes produce the same results.
+
+Plain script (no pytest fixtures) so CI can smoke it with only numpy
+installed::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py --scale 0.1
+
+There are deliberately no timing assertions — the speedup is printed
+for the record; only the span-vs-token equivalence is asserted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import Table
+from repro.api import Runner, Scenario, compare_artifacts
+from repro.methods.registry import PAPER_COMPARISON
+
+
+def run(scale: float = 1.0, dataset: str = "cocktail",
+        methods: tuple[str, ...] = PAPER_COMPARISON,
+        rtol: float = 1e-9) -> Table:
+    """Run both step modes; return the throughput table."""
+    runner = Runner()
+    base = Scenario(model="L", prefill_gpu="A10G", dataset=dataset,
+                    methods=methods, scale=scale)
+    artifacts = {
+        mode: runner.run(base.replace(step_mode=mode))
+        for mode in ("token", "span")
+    }
+    diff = compare_artifacts(artifacts["token"], artifacts["span"],
+                             rtol=rtol)
+    # step_mode is the only scenario field allowed to differ.
+    mismatched = {m: d for m, d in diff["methods"].items() if d}
+    if mismatched:
+        raise AssertionError(
+            f"span results diverge from token results beyond rtol={rtol}: "
+            f"{mismatched}"
+        )
+
+    table = Table(f"Simulator throughput — {dataset}, Llama-70B/A10G "
+                  f"(scale={scale})",
+                  ["method", "tokens", "token-mode tok/s", "span-mode tok/s",
+                   "speedup"])
+    for method in methods:
+        token = artifacts["token"].perf[method]
+        span = artifacts["span"].perf[method]
+        table.add_row(method, token["simulated_tokens"],
+                      round(token["tokens_per_s"]),
+                      round(span["tokens_per_s"]),
+                      f'{token["wall_s"] / span["wall_s"]:.1f}x')
+    return table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="trace-length multiplier (default 1.0)")
+    parser.add_argument("--dataset", default="cocktail")
+    parser.add_argument("--methods", default=",".join(PAPER_COMPARISON),
+                        help="comma-separated method names")
+    args = parser.parse_args(argv)
+    table = run(scale=args.scale, dataset=args.dataset,
+                methods=tuple(m for m in args.methods.split(",") if m))
+    print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,12 @@ class RunArtifact:
     #: (never serialized; ``None`` after a round-trip through disk).
     results: dict[str, SimulationResult] | None = field(
         default=None, repr=False, compare=False)
+    #: Per-method simulator-throughput record set by the Runner
+    #: (``step_mode``/``wall_s``/``simulated_tokens``/``tokens_per_s``).
+    #: Wall-clock metadata about the machine that ran the simulation —
+    #: never serialized, so artifact JSON stays byte-deterministic.
+    perf: dict[str, dict] | None = field(
+        default=None, repr=False, compare=False)
 
     @classmethod
     def from_results(cls, scenario: Scenario,

@@ -17,6 +17,7 @@ test suite, and checkable via ``RunArtifact.compare``).
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass, replace
 
 from ..methods.registry import get_method
@@ -95,6 +96,8 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
             overrides["n_prefill_replicas"] = scenario.n_prefill_replicas
         if scenario.n_decode_replicas is not None:
             overrides["n_decode_replicas"] = scenario.n_decode_replicas
+        if scenario.step_mode is not None:
+            overrides["step_mode"] = scenario.step_mode
         if overrides:
             config = replace(config, **overrides)
         configs[name] = config
@@ -104,13 +107,36 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
                             trace=tuple(trace), configs=configs)
 
 
-def _run_job(job: tuple[int, Scenario]) -> tuple[int, str, SimulationResult]:
+def _timed_simulate(config: ClusterConfig, trace: list[TraceRequest],
+                    ) -> tuple[SimulationResult, dict]:
+    """Run one simulation and measure simulated-tokens-per-second.
+
+    The perf record is wall-clock metadata about the run *of* the
+    simulator (never serialized into artifacts, which stay byte-
+    deterministic): decode tokens simulated, wall seconds, tokens/s.
+    """
+    start = time.perf_counter()
+    result = simulate(config, trace)
+    wall_s = time.perf_counter() - start
+    tokens = result.generated_tokens()
+    perf = {
+        "step_mode": config.step_mode,
+        "wall_s": wall_s,
+        "simulated_tokens": tokens,
+        "tokens_per_s": tokens / wall_s if wall_s > 0 else float("inf"),
+    }
+    return result, perf
+
+
+def _run_job(job: tuple[int, Scenario]
+             ) -> tuple[int, str, SimulationResult, dict]:
     """Pool work unit: one single-method scenario (picklable in + out)."""
     index, scenario = job
     resolved = resolve(scenario)
     method = scenario.methods[0]
-    return index, method, simulate(resolved.configs[method],
+    result, perf = _timed_simulate(resolved.configs[method],
                                    list(resolved.trace))
+    return index, method, result, perf
 
 
 class Runner:
@@ -148,12 +174,17 @@ class Runner:
         grouped: list[dict[str, SimulationResult]] = [
             {} for _ in scenarios
         ]
-        for index, method, result in outputs:
+        perf_grouped: list[dict[str, dict]] = [{} for _ in scenarios]
+        for index, method, result, perf in outputs:
             grouped[index][method] = result
+            perf_grouped[index][method] = perf
         artifacts = []
-        for scenario, results in zip(scenarios, grouped):
+        for scenario, results, perfs in zip(scenarios, grouped,
+                                            perf_grouped):
             ordered = {m: results[m] for m in scenario.methods}
-            artifacts.append(RunArtifact.from_results(scenario, ordered))
+            artifact = RunArtifact.from_results(scenario, ordered)
+            artifact.perf = {m: perfs[m] for m in scenario.methods}
+            artifacts.append(artifact)
         return artifacts
 
     # -- executors ------------------------------------------------------------
@@ -165,8 +196,9 @@ class Runner:
             resolved = resolve(scenario)
             trace = list(resolved.trace)
             for method in scenario.methods:
-                outputs.append((index, method,
-                                simulate(resolved.configs[method], trace)))
+                result, perf = _timed_simulate(resolved.configs[method],
+                                               trace)
+                outputs.append((index, method, result, perf))
         return outputs
 
     def _run_pool(self, jobs):

@@ -75,6 +75,11 @@ class Scenario:
     n_prefill_replicas: int | None = None
     n_decode_replicas: int | None = None
     activation_overhead: float | None = None
+    #: Decode stepping: ``"span"`` (fast-forward, the
+    #: :class:`~repro.sim.engine.ClusterConfig` default) or ``"token"``
+    #: (legacy per-token events, for differential testing); ``None``
+    #: keeps the cluster default.
+    step_mode: str | None = None
     #: Overrides on DEFAULT_CALIBRATION, e.g. {"net_efficiency": 0.25}.
     calibration: tuple[tuple[str, float], ...] | None = None
     #: Optional human label; never affects resolution, equality or the
@@ -98,6 +103,11 @@ class Scenario:
             ))
         if self.scale <= 0:
             raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.step_mode not in (None, "span", "token"):
+            raise ValueError(
+                f"step_mode must be 'span', 'token' or None, got "
+                f"{self.step_mode!r}"
+            )
 
     # -- derived views --------------------------------------------------------
 
@@ -120,11 +130,19 @@ class Scenario:
     # -- (de)serialization ----------------------------------------------------
 
     def to_dict(self) -> dict:
-        """A JSON-ready dict (calibration as a plain mapping)."""
+        """A JSON-ready dict (calibration as a plain mapping).
+
+        ``step_mode`` is emitted only when set: a defaulted scenario
+        serializes exactly as it did before the field existed, so
+        schema-v1 readers predating it still load such artifacts (and
+        slugs of pre-existing scenarios are unchanged).
+        """
         out = dataclasses.asdict(self)
         out["methods"] = list(self.methods)
         out["calibration"] = (dict(self.calibration)
                               if self.calibration else None)
+        if out["step_mode"] is None:
+            del out["step_mode"]
         return out
 
     @classmethod
@@ -169,7 +187,7 @@ class Scenario:
                 f"prefill={self.prefill_gpu}", f"decode={self.decode_gpu}",
                 f"methods={','.join(self.methods)}"]
         for fname in ("rps", "load_factor", "n_requests", "seed", "scale",
-                      "n_prefill_replicas", "n_decode_replicas"):
+                      "n_prefill_replicas", "n_decode_replicas", "step_mode"):
             value = getattr(self, fname)
             if value is not None and (fname != "scale" or value != 1.0):
                 bits.append(f"{fname}={value}")

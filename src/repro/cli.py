@@ -144,6 +144,11 @@ def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--n-prefill-replicas", type=int, default=None)
     group.add_argument("--n-decode-replicas", type=int, default=None)
     group.add_argument("--activation-overhead", type=float, default=None)
+    group.add_argument("--step-mode", choices=("span", "token"),
+                       default=None,
+                       help="decode stepping: span (fast-forward, "
+                            "default) or token (legacy differential "
+                            "path)")
     group.add_argument("--calib", action="append", default=[],
                        metavar="KEY=VALUE",
                        help="calibration override (repeatable)")
@@ -188,6 +193,7 @@ def _scenario_from_args(args, scale: float) -> Scenario:
         n_prefill_replicas=args.n_prefill_replicas,
         n_decode_replicas=args.n_decode_replicas,
         activation_overhead=args.activation_overhead,
+        step_mode=args.step_mode,
         calibration=calibration,
     )
 

@@ -2,8 +2,10 @@
 
 from .calibration import Calibration, DEFAULT_CALIBRATION, calibrated
 from .decode import (
+    BatchCostModel,
     IterationTiming,
     RequestDecodeCosts,
+    SpanTotals,
     iteration_latency,
     param_read_time,
     request_decode_costs,
@@ -20,6 +22,8 @@ __all__ = [
     "attention_rate_tflops",
     "RequestDecodeCosts",
     "IterationTiming",
+    "BatchCostModel",
+    "SpanTotals",
     "request_decode_costs",
     "iteration_latency",
     "param_read_time",

@@ -46,10 +46,12 @@ def kmeans_1d(values: np.ndarray, k: int, n_iter: int = 25,
     for _ in range(n_iter):
         assignment = np.argmin(np.abs(values[:, None] - centroids[None, :]),
                                axis=1)
-        for j in range(k):
-            members = values[assignment == j]
-            if members.size:
-                centroids[j] = members.mean()
+        # Lloyd's update for every centroid at once: per-cluster sums
+        # and counts via bincount; empty clusters keep their centroid.
+        sums = np.bincount(assignment, weights=values, minlength=k)
+        counts = np.bincount(assignment, minlength=k)
+        occupied = counts > 0
+        centroids[occupied] = sums[occupied] / counts[occupied]
     return np.sort(centroids)
 
 

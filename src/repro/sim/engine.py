@@ -13,7 +13,7 @@ Faithfully implements the paper's serving policy:
   replica's NIC serializes its outgoing transfers;
 * decode replicas run continuous batching: each iteration produces one
   token per active request, with latency from
-  :func:`repro.perfmodel.decode.iteration_latency`; requests join at
+  :class:`repro.perfmodel.decode.BatchCostModel`; requests join at
   iteration boundaries and leave when their output length is reached;
 * optional layer-wise pipelining overlaps a request's KV transfer with
   its own prefill (§2.1, Fig. 1(d)) — infeasible for swapped requests.
@@ -21,6 +21,19 @@ Faithfully implements the paper's serving policy:
 Per-iteration wall-clock is attributed to the Fig. 10 buckets
 proportionally to the batch's component sums, so a request's "dequant"
 share reflects the dequantization phases it actually waits through.
+
+Decode stepping runs in one of two modes (``ClusterConfig.step_mode``):
+
+* ``"span"`` (default) — *event-to-event fast-forwarding*: between
+  batch-composition changes (a join via ``transfer_done``, the earliest
+  finishing request, or swapped-KV admission) the engine advances all
+  ``k`` iterations in a single heap event, using the closed-form span
+  sums of :meth:`~repro.perfmodel.decode.BatchCostModel.span`.  A
+  request joining mid-span truncates the span at the end of the
+  iteration in progress — exactly where the token path would have
+  admitted it — so the two modes agree to floating-point rounding.
+* ``"token"`` — the legacy one-heap-event-per-token path, kept for
+  differential testing.
 """
 
 from __future__ import annotations
@@ -31,13 +44,15 @@ import math
 from collections import deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..cluster.instances import DEFAULT_DECODE_COUNT, DEFAULT_PREFILL_FLEETS, \
     instance_for_gpu
 from ..cluster.parallelism import ReplicaResources, replica_resources
 from ..methods.base import Method
 from ..model.config import ModelSpec
 from ..perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
-from ..perfmodel.decode import iteration_latency
+from ..perfmodel.decode import BatchCostModel
 from ..perfmodel.prefill import prefill_time
 from ..perfmodel.transfer import kv_wire_bytes, make_network_model
 from ..workload.traces import TraceRequest
@@ -76,6 +91,18 @@ class ClusterConfig:
     #: shipped per pipeline stage, not per layer, so roughly 1/8 of the
     #: transfer stays exposed even under perfect overlap.
     pipeline_stages: int = 8
+    #: Decode stepping: ``"span"`` fast-forwards whole runs of
+    #: iterations between batch-composition changes in one heap event
+    #: (closed-form latency sums); ``"token"`` is the legacy
+    #: one-event-per-token path kept for differential testing.
+    step_mode: str = "span"
+
+    def __post_init__(self) -> None:
+        if self.step_mode not in ("span", "token"):
+            raise ValueError(
+                f"step_mode must be 'span' or 'token', got "
+                f"{self.step_mode!r}"
+            )
 
     def prefill_replica(self) -> ReplicaResources:
         return replica_resources(self.model, self.prefill_gpu)
@@ -91,6 +118,7 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
                     n_decode_instances: int = DEFAULT_DECODE_COUNT,
                     decode_gpu: str = "A100",
                     activation_overhead: float | None = None,
+                    step_mode: str | None = None,
                     ) -> ClusterConfig:
     """The paper's §7.1 deployment for ``model`` on ``prefill_gpu``.
 
@@ -115,6 +143,8 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
     extra = {} if activation_overhead is None else {
         "activation_overhead": activation_overhead
     }
+    if step_mode is not None:
+        extra["step_mode"] = step_mode
     return ClusterConfig(model=model, method=method, prefill_gpu=gpu,
                          n_prefill_replicas=n_prefill,
                          n_decode_replicas=n_decode, calib=calib,
@@ -141,6 +171,15 @@ class _DecodeReplica:
     queued_tokens: int = 0
     iteration_scheduled: bool = False
     assigned: int = 0
+    # Span-mode state (valid while a span event is in flight).
+    span_id: int = 0               # stale-event guard; bumped per span
+    span_start: float = 0.0
+    span_k: int = 0
+    span_snapshot: list = field(default_factory=list)
+    span_ctx0: np.ndarray | None = None
+    #: A truncated span settled early; its boundary event will take a
+    #: fresh batch snapshot, so later joins need no further interrupt.
+    boundary_pending: bool = False
 
     def free_bytes(self) -> float:
         return self.capacity_bytes - self.used_bytes
@@ -162,14 +201,16 @@ class SimulationResult:
         """Mean job completion time across all requests (Fig. 9 metric)."""
         return sum(r.jct for r in self.requests) / len(self.requests)
 
+    def generated_tokens(self) -> int:
+        """Decode tokens produced across all requests (the unit of the
+        simulator-throughput benchmark)."""
+        return sum(r.tokens_generated for r in self.requests)
+
     def mean_decomposition(self) -> dict[str, float]:
         """Mean seconds per bucket (Fig. 10 bars)."""
-        keys = self.requests[0].decomposition().keys()
-        n = len(self.requests)
-        return {
-            k: sum(r.decomposition()[k] for r in self.requests) / n
-            for k in keys
-        }
+        decomps = [r.decomposition() for r in self.requests]
+        n = len(decomps)
+        return {k: sum(d[k] for d in decomps) / n for k in decomps[0]}
 
     def mean_ratios(self, include_queue: bool = False) -> dict[str, float]:
         """Mean per-request bucket ratios (the Fig. 1–4 metric)."""
@@ -229,6 +270,9 @@ class Simulator:
         self.pre_res = config.prefill_replica()
         self.dec_res = config.decode_replica()
         self.net = make_network_model(self.calib)
+        self.step_mode = config.step_mode
+        self.cost_model = BatchCostModel(self.spec, self.dec_res,
+                                         self.method, self.calib)
 
         self._events: list = []
         self._seq = itertools.count()
@@ -394,12 +438,25 @@ class Simulator:
     def _on_transfer_done(self, now: float, req: SimRequest) -> None:
         req.transfer_end = now
         req.decode_start = now
-        decode = self._decode[req.decode_replica]
+        idx = req.decode_replica
+        decode = self._decode[idx]
         # The prefill stage already produced the first output token.
         remaining = max(1, req.trace.output_len - 1)
         decode.active.append([req, remaining])
         if not decode.iteration_scheduled:
-            self._schedule_iteration(now, req.decode_replica)
+            self._schedule_decode(now, idx)
+        elif self.step_mode == "span" and not decode.boundary_pending:
+            # A span is in flight; the join takes effect at the end of
+            # the iteration currently in progress.
+            self._interrupt_span(now, idx)
+
+    def _schedule_decode(self, now: float, idx: int) -> None:
+        if self.step_mode == "span":
+            self._schedule_span(now, idx)
+        else:
+            self._schedule_iteration(now, idx)
+
+    # -- token stepping (legacy path) ------------------------------------------
 
     def _schedule_iteration(self, now: float, idx: int) -> None:
         decode = self._decode[idx]
@@ -408,8 +465,7 @@ class Simulator:
             return
         ctxs = [entry[0].trace.input_len + entry[0].tokens_generated + 1
                 for entry in decode.active]
-        timing = iteration_latency(self.spec, self.dec_res, self.method,
-                                   ctxs, self.calib)
+        timing = self.cost_model.iteration(ctxs)
         snapshot = list(decode.active)
         decode.iteration_scheduled = True
         self._push(now + timing.latency_s, "decode_iter",
@@ -418,7 +474,6 @@ class Simulator:
     def _on_decode_iter(self, now: float, payload) -> None:
         idx, snapshot, timing = payload
         decode = self._decode[idx]
-        latency = timing.latency_s
 
         kv_sum = sum(c.kv_read_s for c in timing.per_request)
         compute_sum = sum(c.compute_s for c in timing.per_request)
@@ -429,26 +484,111 @@ class Simulator:
 
         finished_entries = []
         for entry in snapshot:
-            req, _ = entry
-            req.decode_s += decode_share
-            req.dequant_s += dequant_sum
-            req.approx_s += approx_sum
-            req.kv_access_s += kv_sum
-            req.tokens_generated += 1
+            entry[0].accrue_decode(decode_share, dequant_sum, approx_sum,
+                                   kv_sum)
             entry[1] -= 1
             if entry[1] <= 0:
                 finished_entries.append(entry)
 
-        for entry in finished_entries:
-            req = entry[0]
-            req.finish = now
-            decode.active.remove(entry)
-            decode.used_bytes -= req.reserved_bytes
-            decode.queued_tokens -= req.trace.total_len
-            self._finished.append(req)
         if finished_entries:
+            # One-pass rebuild instead of per-entry list.remove() — that
+            # was O(batch) per finishing request, quadratic per event.
+            decode.active = [e for e in decode.active if e[1] > 0]
+            for entry in finished_entries:
+                self._finish_request(now, decode, entry[0])
             self._admit_pending(now)
         self._schedule_iteration(now, idx)
+
+    # -- span stepping (fast-forward path) -------------------------------------
+
+    def _schedule_span(self, now: float, idx: int) -> None:
+        """Start a span covering every iteration until the batch next
+        changes on its own: ``k`` = the earliest finisher's remaining
+        tokens.  Joins arriving mid-span truncate it via
+        :meth:`_interrupt_span`."""
+        decode = self._decode[idx]
+        decode.span_id += 1
+        if not decode.active:
+            decode.iteration_scheduled = False
+            return
+        snapshot = list(decode.active)
+        ctx0 = np.array([e[0].trace.input_len + e[0].tokens_generated + 1
+                         for e in snapshot], dtype=np.int64)
+        k = min(e[1] for e in snapshot)
+        totals = self.cost_model.span(ctx0, k)
+        decode.span_start = now
+        decode.span_k = k
+        decode.span_snapshot = snapshot
+        decode.span_ctx0 = ctx0
+        decode.iteration_scheduled = True
+        self._push(now + totals.latency_s, "decode_span",
+                   (idx, decode.span_id, totals))
+
+    def _settle_span(self, decode: _DecodeReplica, totals) -> None:
+        """Credit ``totals.k`` iterations to every span participant.
+
+        Each request accrues the *batch-wide* bucket sums (it waits
+        through the whole batch's iteration), exactly as the token path
+        accrues them one iteration at a time.
+        """
+        k = totals.k
+        for entry in decode.span_snapshot:
+            entry[0].accrue_decode(totals.decode_s, totals.dequant_s,
+                                   totals.approx_s, totals.kv_read_s,
+                                   tokens=k)
+            entry[1] -= k
+
+    def _on_decode_span(self, now: float, payload) -> None:
+        idx, span_id, totals = payload
+        decode = self._decode[idx]
+        if span_id != decode.span_id:
+            return                        # span was truncated by a join
+        self._settle_span(decode, totals)
+        finished_entries = [e for e in decode.span_snapshot if e[1] <= 0]
+        if finished_entries:
+            decode.active = [e for e in decode.active if e[1] > 0]
+            for entry in finished_entries:
+                self._finish_request(now, decode, entry[0])
+            self._admit_pending(now)
+        self._schedule_span(now, idx)
+
+    def _interrupt_span(self, now: float, idx: int) -> None:
+        """Truncate the in-flight span because a request joined at ``now``.
+
+        The join takes effect at the end of the iteration in progress —
+        boundary ``j``.  The first ``j`` iterations are settled with
+        their closed-form totals and a zero-state boundary event is
+        pushed at that instant; it re-snapshots the batch, so any
+        further joins before the boundary ride along for free.
+        """
+        decode = self._decode[idx]
+        elapsed = now - decode.span_start
+        j = self.cost_model.find_boundary(decode.span_ctx0, decode.span_k,
+                                          elapsed)
+        if j >= decode.span_k:
+            # Joined during the span's last iteration: the natural span
+            # end is the join boundary; nothing to truncate.
+            return
+        totals = self.cost_model.span(decode.span_ctx0, j)
+        self._settle_span(decode, totals)
+        # No request can finish here: j < k = min(remaining) over the span.
+        decode.span_id += 1               # drop the in-flight span event
+        decode.boundary_pending = True
+        self._push(decode.span_start + totals.latency_s, "span_boundary", idx)
+
+    def _on_span_boundary(self, now: float, idx: int) -> None:
+        decode = self._decode[idx]
+        decode.boundary_pending = False
+        self._schedule_span(now, idx)
+
+    # -- shared decode bookkeeping ---------------------------------------------
+
+    def _finish_request(self, now: float, decode: _DecodeReplica,
+                        req: SimRequest) -> None:
+        req.finish = now
+        decode.used_bytes -= req.reserved_bytes
+        decode.queued_tokens -= req.trace.total_len
+        self._finished.append(req)
 
     def _admit_pending(self, now: float) -> None:
         still_waiting: deque = deque()

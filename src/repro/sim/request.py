@@ -48,6 +48,11 @@ class SimRequest:
     tokens_generated: int = 0
     #: Decode-memory bytes reserved for this request.
     reserved_bytes: float = 0.0
+    #: Memoized decomposition — buckets are final once ``finish`` is
+    #: set, so the first post-completion call caches for all aggregate
+    #: consumers (mean decomposition/ratios, summary, records).
+    _decomposition: dict | None = field(
+        default=None, repr=False, compare=False)
 
     @property
     def request_id(self) -> int:
@@ -75,16 +80,38 @@ class SimRequest:
                 + self.dequant_s + self.approx_s)
         return max(0.0, self.jct - busy)
 
+    def accrue_decode(self, decode_s: float, dequant_s: float,
+                      approx_s: float, kv_read_s: float,
+                      tokens: int = 1) -> None:
+        """Credit ``tokens`` decode iterations' batch-wide bucket sums.
+
+        Every request in a batch waits through the whole batch's
+        iteration, so batch totals — not per-request shares — are what
+        accumulate.  The token path passes one iteration's sums;
+        the span fast path passes a whole span's closed-form totals.
+        """
+        self.decode_s += decode_s
+        self.dequant_s += dequant_s
+        self.approx_s += approx_s
+        self.kv_access_s += kv_read_s
+        self.tokens_generated += tokens
+
     def decomposition(self) -> dict[str, float]:
-        """Bucket → seconds (the Fig. 10 stacked bars)."""
-        return {
-            "queue": self.queue_s,
-            "prefill": self.prefill_s,
-            "quant": self.quant_s,
-            "comm": self.comm_s,
-            "dequant_or_approx": self.dequant_s + self.approx_s,
-            "decode": self.decode_s,
-        }
+        """Bucket → seconds (the Fig. 10 stacked bars).
+
+        Computed once per finished request; returns a fresh copy each
+        call (callers mutate it, e.g. :meth:`ratios`).
+        """
+        if self._decomposition is None:
+            self._decomposition = {
+                "queue": self.queue_s,
+                "prefill": self.prefill_s,
+                "quant": self.quant_s,
+                "comm": self.comm_s,
+                "dequant_or_approx": self.dequant_s + self.approx_s,
+                "decode": self.decode_s,
+            }
+        return dict(self._decomposition)
 
     def record(self) -> dict:
         """Flat JSON-ready record of this request (artifact schema v1).
