@@ -13,7 +13,7 @@ what carry over):
 import numpy as np
 from conftest import run_once
 
-from repro.core import costs, homomorphic_matmul, make_rng, quantize, transpose
+from repro.core import costs, homomorphic_matmul, make_rng, quantize
 from repro.core.kv_cache import DequantizingKVCache, HackKVCache
 from repro.quant.entropy import decode, encode
 from repro.quant.kvquant import kmeans_1d
@@ -52,9 +52,9 @@ def test_entropy_coder_roundtrip(benchmark):
 def test_decode_iteration_flop_claim(benchmark):
     """§5.3: at L=16K, dequantization costs ~50x the Eq. 4 corrections."""
     def counts():
-        d_h, l = 128, 16200
-        return (costs.kv_dequant_flops_per_iter(d_h, l),
-                costs.hack_approx_flops_per_iter(d_h, l))
+        d_h, ctx = 128, 16200
+        return (costs.kv_dequant_flops_per_iter(d_h, ctx),
+                costs.hack_approx_flops_per_iter(d_h, ctx))
 
     dequant, approx = run_once(benchmark, counts)
     print(f"\ndequant flops/iter: {dequant:,}  approx flops/iter: {approx:,} "

@@ -20,7 +20,7 @@ from repro.perfmodel import (
     transfer_time,
 )
 from repro.sim import default_cluster, experiment_rps, simulate
-from repro.workload import generate_trace, get_dataset
+from repro.workload import generate_trace
 
 MODEL = get_model("L")
 PROMPT_LEN = 6300    # arXiv mean input (Table 4)

@@ -85,10 +85,10 @@ def main():
           f"RQE FP16 tail: {cache.fp16_tail_nbytes():,} B")
 
     section("5. Why it matters (the paper's §5.3 arithmetic)")
-    d_h, l = 128, 16200  # Cocktail-scale context
-    dequant_flops = costs.kv_dequant_flops_per_iter(d_h, l)
-    approx_flops = costs.hack_approx_flops_per_iter(d_h, l)
-    print(f"  per decode iteration at L={l:,}: dequantization costs "
+    d_h, ctx = 128, 16200  # Cocktail-scale context
+    dequant_flops = costs.kv_dequant_flops_per_iter(d_h, ctx)
+    approx_flops = costs.hack_approx_flops_per_iter(d_h, ctx)
+    print(f"  per decode iteration at L={ctx:,}: dequantization costs "
           f"{dequant_flops:,} flops,")
     print(f"  HACK's Eq. 4 corrections cost {approx_flops:,} flops "
           f"({dequant_flops / approx_flops:.0f}x less)")

@@ -33,8 +33,8 @@ experiments
     Scenario/Sweep definitions over :mod:`repro.api`.
 """
 
-__version__ = "1.0.0"
-
 from . import core
+
+__version__ = "1.0.0"
 
 __all__ = ["core", "__version__"]

@@ -20,8 +20,6 @@ in which band — comes from measured errors, never from the anchor.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..workload.datasets import get_dataset
 
 __all__ = ["PAPER_BASELINE_ACCURACY", "TABLE6_CELLS", "dataset_sensitivity",

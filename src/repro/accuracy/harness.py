@@ -4,28 +4,32 @@ Two instruments:
 
 * :func:`attention_error` — replay one attention head on realistic
   synthetic Q/K/V (see :mod:`repro.accuracy.kv_distributions`) through a
-  method's *actual* quantization path (HACK's homomorphic attention, the
-  comparators' compress→decompress→attend) and measure the relative
-  error of the attention output against the exact computation.  This is
-  the primary signal behind the Table 6 reproduction.
+  method's *actual* quantization path and measure the relative error of
+  the attention output against the exact computation.  This is the
+  primary signal behind the Table 6 reproduction.
 
 * :func:`decode_path_error` — drive the real :class:`HackKVCache`
   decode path token by token, with and without RQE, and measure the
   attention-output error against an exact FP16 cache.  The *extra*
   error of the no-RQE variant is what Table 7 reports.
+
+Methods are referenced by :class:`~repro.methods.spec.MethodSpec` (or
+any spelling it accepts: legacy names, ``family?k=v`` strings, flat
+dicts).  The spec's family supplies the whole accuracy path — HACK
+variants run the homomorphic attention, dequantize-first families
+round-trip K/V through their compressors and attend exactly — so the
+harness has no per-method branches and user-registered families are
+measured exactly like the built-in ones.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core.attention import HackConfig, attention_hack, attention_reference
+from ..core.attention import attention_reference
 from ..core.kv_cache import Fp16KVCache, HackKVCache
 from ..core.rounding import make_rng
-from ..quant.base import KVCompressor
-from ..quant.cachegen import CacheGenCompressor
-from ..quant.fp_formats import FP4_E2M1, FP6_E3M2, FP8_E4M3, FpCastCompressor
-from ..quant.kvquant import KVQuantCompressor
+from ..methods.spec import canonical_method, method_spec
 from .kv_distributions import (
     K_DISTRIBUTION,
     Q_DISTRIBUTION,
@@ -42,28 +46,9 @@ ACCURACY_METHODS = (
     "cachegen", "kvquant", "fp4", "fp6", "fp8",
 )
 
-#: CacheGen comparator at its published operating point (~86–90%
-#: compression): 8-bit anchors, 3-bit deltas with wide layer-level bins.
-_CACHEGEN_KWARGS = dict(chunk_size=16, anchor_bits=8, delta_bits=3,
-                        delta_gain=16.0)
-
-
-def _compressors_for(method: str) -> tuple[KVCompressor, KVCompressor] | None:
-    """(K-plane, V-plane) compressors for roundtrip-style methods."""
-    if method == "cachegen":
-        return (CacheGenCompressor(**_CACHEGEN_KWARGS),
-                CacheGenCompressor(**_CACHEGEN_KWARGS))
-    if method == "kvquant":
-        return (KVQuantCompressor(bits=2, axis="channel"),
-                KVQuantCompressor(bits=2, axis="token"))
-    if method in ("fp4", "fp6", "fp8"):
-        fmt = {"fp4": FP4_E2M1, "fp6": FP6_E3M2, "fp8": FP8_E4M3}[method]
-        return FpCastCompressor(fmt), FpCastCompressor(fmt)
-    return None
-
 
 def attention_error(
-    method: str,
+    method,
     n_tokens: int = 256,
     head_dim: int = 128,
     l_q: int = 32,
@@ -72,12 +57,14 @@ def attention_error(
 ) -> float:
     """Mean relative attention-output error of ``method``.
 
-    ``baseline`` returns 0.  HACK variants run the full homomorphic
-    path (8-bit Q, 2-bit K/V, 8-bit P, stochastic rounding); comparator
-    methods quantize K/V through their codec and attend exactly, which
-    is what their dequantize-first systems compute.
+    ``method`` is any :class:`MethodSpec` spelling.  Exact families
+    (``baseline``) return 0.  HACK variants run the full homomorphic
+    path (8-bit Q, quantized K/V, 8-bit P, stochastic rounding);
+    dequantize-first families quantize K/V through their codec and
+    attend exactly, which is what their systems compute.
     """
-    if method == "baseline":
+    spec = method_spec(method)
+    if spec.is_exact:
         return 0.0
     errors = []
     for trial in range(n_trials):
@@ -86,34 +73,29 @@ def attention_error(
         k = synthetic_plane(n_tokens, head_dim, K_DISTRIBUTION, rng)
         v = synthetic_plane(n_tokens, head_dim, V_DISTRIBUTION, rng)
         ref = attention_reference(q, k, v, causal=False)
-
-        if method.startswith("hack"):
-            pi = int(method.removeprefix("hack_pi") or 64)
-            config = HackConfig(partition_size=min(pi, head_dim))
-            out = attention_hack(q, k, v, config, rng=make_rng(seed + trial),
-                                 causal=False)
-        else:
-            pair = _compressors_for(method)
-            if pair is None:
-                raise KeyError(f"unknown accuracy method {method!r}")
-            k_hat, _ = pair[0].roundtrip(k)
-            v_hat, _ = pair[1].roundtrip(v)
-            out = attention_reference(q, k_hat, v_hat, causal=False)
+        out = spec.attention_output(q, k, v, rng=make_rng(seed + trial))
         errors.append(np.linalg.norm(out - ref) / np.linalg.norm(ref))
     return float(np.mean(errors))
 
 
 def measure_errors(
-    methods: tuple[str, ...] = ACCURACY_METHODS,
+    methods: tuple = ACCURACY_METHODS,
     n_tokens: int = 256,
     head_dim: int = 128,
     n_trials: int = 6,
     seed: int = 100,
-) -> dict[str, float]:
-    """Attention errors for a set of methods under one configuration."""
+) -> dict:
+    """Attention errors for a set of methods under one configuration.
+
+    Keys are the method references as given (strings stay strings,
+    specs stay specs) so callers index results with what they passed;
+    flat spec dicts, being unhashable, are keyed by their canonical
+    string.
+    """
     return {
-        m: attention_error(m, n_tokens=n_tokens, head_dim=head_dim,
-                           n_trials=n_trials, seed=seed)
+        (canonical_method(m) if isinstance(m, dict) else m):
+            attention_error(m, n_tokens=n_tokens, head_dim=head_dim,
+                            n_trials=n_trials, seed=seed)
         for m in methods
     }
 

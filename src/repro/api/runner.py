@@ -20,7 +20,7 @@ import multiprocessing
 import time
 from dataclasses import dataclass, replace
 
-from ..methods.registry import get_method
+from ..methods import resolve_method
 from ..model.config import ModelSpec, get_model
 from ..perfmodel.calibration import Calibration, DEFAULT_CALIBRATION, calibrated
 from ..sim.capacity import experiment_rps
@@ -87,7 +87,7 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
     configs = {}
     for name in scenario.methods:
         config = default_cluster(
-            spec, get_method(name), scenario.prefill_gpu, calib=calib,
+            spec, resolve_method(name), scenario.prefill_gpu, calib=calib,
             pipelining=scenario.pipelining, decode_gpu=scenario.decode_gpu,
             activation_overhead=scenario.activation_overhead,
         )

@@ -25,8 +25,15 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import re
 from dataclasses import dataclass, field, replace
 
+from ..methods import (
+    MethodSpec,
+    canonical_method,
+    has_registered_family,
+    split_method_list,
+)
 from ..model.config import ModelSpec
 from ..workload.datasets import get_dataset
 
@@ -40,6 +47,24 @@ DEFAULT_LOAD_FACTOR = 1.05
 DEFAULT_SEED = 1
 DEFAULT_N_REQUESTS = 120
 MAX_AUTO_REQUESTS = 600
+
+
+def _canonical_or_verbatim(method) -> str:
+    """Canonicalize a method reference, keeping *unknown-family*
+    strings verbatim.
+
+    A Scenario is pure description: artifacts referencing a method
+    family that is not registered in the current process (a custom
+    family from another script) must still load, render and diff — only
+    *running* them requires resolution, and the runner raises the same
+    "unknown method" error at that point.  Everything else validates
+    here: a malformed spec of a *registered* family (typo'd parameter,
+    bad value) is a constructor error, and non-string references
+    (MethodSpec objects, dicts) cannot exist without their family.
+    """
+    if isinstance(method, str) and not has_registered_family(method):
+        return method.strip()
+    return canonical_method(method)
 
 
 def model_dataset(model: ModelSpec, dataset_name: str) -> tuple[str, int | None]:
@@ -62,6 +87,9 @@ class Scenario:
     """One declarative simulation cell (see module docstring)."""
 
     model: str = "L"
+    #: Canonical method strings: legacy registry names ("hack_pi64") or
+    #: MethodSpec grammar ("hack?pi=128,bits=4").  MethodSpec objects
+    #: and flat spec dicts are accepted and canonicalized.
     methods: tuple[str, ...] = ("baseline",)
     dataset: str = "cocktail"
     prefill_gpu: str = "A10G"
@@ -88,10 +116,17 @@ class Scenario:
 
     def __post_init__(self) -> None:
         # Normalize list-ish inputs so scenarios hash/compare cleanly.
+        # Methods may be legacy names, MethodSpec grammar strings
+        # ("hack?pi=128,bits=4"), MethodSpec objects or flat spec dicts;
+        # everything canonicalizes to strings (legacy names untouched,
+        # so pre-spec scenarios serialize and slug exactly as before).
         methods = self.methods
         if isinstance(methods, str):
-            methods = tuple(m for m in methods.split(",") if m)
-        object.__setattr__(self, "methods", tuple(methods))
+            methods = split_method_list(methods)
+        elif isinstance(methods, (MethodSpec, dict)):
+            methods = (methods,)
+        object.__setattr__(self, "methods",
+                           tuple(_canonical_or_verbatim(m) for m in methods))
         if not self.methods:
             raise ValueError("scenario needs at least one method")
         if self.calibration is not None:
@@ -178,7 +213,11 @@ class Scenario:
         digest = hashlib.md5(canonical.encode()).hexdigest()[:8]
         parts = [self.model, self.dataset, self.prefill_gpu,
                  "+".join(self.methods)]
-        base = "-".join(p.lower().replace("/", "_") for p in parts)
+        # Spec grammar characters ("?", ",") are not filesystem-safe;
+        # legacy names contain only allowed characters, so their slugs
+        # are byte-identical to the pre-spec scheme.
+        base = "-".join(re.sub(r"[^a-z0-9_+=.-]", "_", p.lower())
+                        for p in parts)
         return f"{base}-{digest}"
 
     def describe(self) -> str:
@@ -187,10 +226,14 @@ class Scenario:
                 f"prefill={self.prefill_gpu}", f"decode={self.decode_gpu}",
                 f"methods={','.join(self.methods)}"]
         for fname in ("rps", "load_factor", "n_requests", "seed", "scale",
-                      "n_prefill_replicas", "n_decode_replicas", "step_mode"):
+                      "n_prefill_replicas", "n_decode_replicas",
+                      "activation_overhead", "step_mode"):
             value = getattr(self, fname)
             if value is not None and (fname != "scale" or value != 1.0):
                 bits.append(f"{fname}={value}")
+        if self.calibration:
+            bits.append("calib=" + ",".join(
+                f"{k}:{format(v, 'g')}" for k, v in self.calibration))
         if self.pipelining:
             bits.append("pipelining")
         return " ".join(bits)

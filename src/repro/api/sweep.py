@@ -6,6 +6,19 @@ A sweep is a base :class:`~repro.api.scenario.Scenario` plus named axes
 Scenario itself it is JSON-(de)serializable, so whole evaluation grids
 (the FlowKV/KVServe-style model × method × load matrices) can live in
 version control and be replayed bit-identically.
+
+Beyond Scenario fields, axes named ``method.<param>`` sweep a
+**method-spec parameter** (see :mod:`repro.methods.spec`): each value
+is applied to every method of the scenario whose family defines the
+parameter (others pass through unchanged, so a ``baseline`` comparator
+can ride along a ``method.partition_size`` sweep)::
+
+    Sweep(Scenario(methods=("baseline", "hack")),
+          axes={"method.partition_size": [32, 64, 128, 256]})
+
+expands to four scenarios whose methods are ``("baseline",
+"hack?pi=32")`` … ``("baseline", "hack?pi=256")`` — one artifact per
+spec, exactly like any other axis.
 """
 
 from __future__ import annotations
@@ -15,11 +28,16 @@ import itertools
 import json
 from dataclasses import dataclass, replace
 
+from ..methods import apply_method_params
 from .scenario import Scenario
 
-__all__ = ["Sweep"]
+__all__ = ["Sweep", "METHOD_AXIS_PREFIX"]
 
 _SCENARIO_FIELDS = {f.name for f in dataclasses.fields(Scenario)}
+
+#: Axis-name prefix selecting a method-spec parameter instead of a
+#: Scenario field.
+METHOD_AXIS_PREFIX = "method."
 
 
 def _freeze(value):
@@ -43,8 +61,18 @@ class Sweep:
             axes = tuple(axes.items())
         frozen = []
         for name, values in axes:
-            if name not in _SCENARIO_FIELDS or name == "name":
-                raise ValueError(f"{name!r} is not a sweepable Scenario field")
+            if name.startswith(METHOD_AXIS_PREFIX):
+                if not name[len(METHOD_AXIS_PREFIX):]:
+                    raise ValueError(
+                        f"method axis {name!r} names no parameter; use "
+                        "method.<param>, e.g. method.partition_size"
+                    )
+            elif name not in _SCENARIO_FIELDS or name == "name":
+                raise ValueError(
+                    f"{name!r} is not a sweepable Scenario field "
+                    f"(method-spec parameters sweep as "
+                    f"{METHOD_AXIS_PREFIX}<param>)"
+                )
             values = tuple(_freeze(v) for v in values)
             if not values:
                 raise ValueError(f"axis {name!r} has no values")
@@ -71,10 +99,34 @@ class Sweep:
         names = [name for name, _ in self.axes]
         grids = [values for _, values in self.axes]
         out = []
+        #: Changed parameters that applied in no cell so far.  Checked
+        #: across the whole expansion (not per cell) so a comparator
+        #: rides along both inside one method set and as its own
+        #: `methods`-axis cell — but a typo'd parameter, inert
+        #: everywhere, still errors instead of expanding to duplicate
+        #: scenarios with colliding slugs.
+        inert: set | None = None
         for combo in itertools.product(*grids):
             changes = dict(zip(names, combo))
             label = " ".join(f"{n}={_label(v)}" for n, v in changes.items())
-            out.append(self.base.replace(name=label, **changes))
+            spec_changes = {
+                n[len(METHOD_AXIS_PREFIX):]: changes.pop(n)
+                for n in [n for n in changes
+                          if n.startswith(METHOD_AXIS_PREFIX)]
+            }
+            scenario = self.base.replace(name=label, **changes)
+            if spec_changes:
+                methods, applied = _apply_spec_changes(scenario.methods,
+                                                       spec_changes)
+                scenario = scenario.replace(methods=methods)
+                missing = set(spec_changes) - applied
+                inert = missing if inert is None else inert & missing
+            out.append(scenario)
+        if inert:
+            raise ValueError(
+                f"method axis parameter(s) {sorted(inert)} apply to none "
+                "of the swept methods"
+            )
         return out
 
     # -- (de)serialization ----------------------------------------------------
@@ -99,6 +151,21 @@ class Sweep:
     @classmethod
     def from_json(cls, text: str) -> "Sweep":
         return cls.from_dict(json.loads(text))
+
+
+def _apply_spec_changes(methods: tuple[str, ...], changes: dict
+                        ) -> tuple[tuple[str, ...], set]:
+    """Apply method-parameter changes to every applicable method.
+
+    Returns the rewritten methods plus the set of changed parameters
+    some method's family defines; :meth:`Sweep.expand` raises when a
+    parameter is inert across the *entire* grid."""
+    out, applied = [], set()
+    for method in methods:
+        new, did = apply_method_params(method, changes)
+        out.append(new)
+        applied |= did
+    return tuple(out), applied
 
 
 def _label(value) -> str:

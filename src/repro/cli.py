@@ -8,6 +8,9 @@ Subcommands::
     python -m repro.cli fig9 --scale 0.5           # …also as top-level alias
     python -m repro.cli sweep --axis dataset=imdb,cocktail \
         --axis prefill_gpu=A10G,V100 --workers 4 --out out/
+    python -m repro.cli run --methods baseline,hack?pi=128,bits=4
+    python -m repro.cli sweep --methods hack \
+        --axis method.partition_size=32,64,128,256 --out out/
     python -m repro.cli compare out-serial/ out-parallel/
     python -m repro.cli export out/some-artifact.json --format md
     python -m repro.cli list
@@ -26,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import itertools
 import json
 import sys
 import time
@@ -47,7 +51,7 @@ from .experiments import (
     table6_accuracy,
     table8_sensitivity,
 )
-from .methods.registry import METHODS
+from .methods import METHODS, method_families, split_method_list
 from .model.config import MODEL_LETTERS as MODEL_REGISTRY
 from .workload.datasets import DATASETS as DATASET_REGISTRY
 
@@ -130,7 +134,9 @@ def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--model", default="L",
                        help="model letter or registry name (default L)")
     group.add_argument("--methods", default="baseline,hack",
-                       help="comma-separated method names")
+                       help="comma-separated methods: registry names "
+                            "and/or specs like hack?pi=128,bits=4 "
+                            "(see `list` for families and parameters)")
     group.add_argument("--dataset", default="cocktail")
     group.add_argument("--prefill-gpu", default="A10G")
     group.add_argument("--decode-gpu", default="A100")
@@ -203,13 +209,12 @@ def _parse_axis(spec: str) -> tuple[str, tuple]:
     field, sep, raw = spec.partition("=")
     if not sep or not raw:
         raise SystemExit(f"--axis expects FIELD=V1,V2,…  got {spec!r}")
-    values = []
-    for token in raw.split(","):
-        if field == "methods":
-            values.append(tuple(token.split("+")))
-        else:
-            values.append(_coerce(token))
-    return field, tuple(values)
+    if field == "methods":
+        # split_method_list keeps spec parameters attached, so a value
+        # like "baseline+hack?pi=128,bits=4" stays one method set.
+        return field, tuple(tuple(v.split("+"))
+                            for v in split_method_list(raw))
+    return field, tuple(_coerce(token) for token in raw.split(","))
 
 
 def _coerce(token: str):
@@ -344,9 +349,13 @@ def _cmd_sweep(args) -> int:
     table = Table("Sweep results",
                   [*sweep.axis_names(), "method", "avg_jct_s", "p50_jct_s",
                    "p99_jct_s", "peak_mem", "swaps"])
-    for artifact in artifacts:
-        axis_cells = [_axis_cell(artifact.scenario, name)
-                      for name in sweep.axis_names()]
+    # Artifacts come back in expansion order (row-major over the axes),
+    # so the swept values — including method.<param> axes, which are
+    # not Scenario fields — pair up structurally with the grid.
+    combos = itertools.product(*(values for _, values in sweep.axes)) \
+        if sweep.axes else iter([()])
+    for artifact, combo in zip(artifacts, combos):
+        axis_cells = [_axis_cell(value) for value in combo]
         for method, run in artifact.methods.items():
             s = run.summary
             table.add_row(*axis_cells, method, s["avg_jct_s"],
@@ -356,8 +365,7 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _axis_cell(scenario: Scenario, axis: str) -> str:
-    value = getattr(scenario, axis)
+def _axis_cell(value) -> str:
     if isinstance(value, tuple):
         return "+".join(str(v) for v in value)
     return str(value)
@@ -416,6 +424,13 @@ def _cmd_list(args) -> int:
         "models": sorted(MODEL_REGISTRY),
         "datasets": sorted(DATASET_REGISTRY),
         "methods": sorted(METHODS),
+        "method_families": {
+            name: {"description": fam.description,
+                   "signature": fam.signature(),
+                   "params": {p: pd.default
+                              for p, pd in fam.params.items()}}
+            for name, fam in method_families().items()
+        },
         "prefill_gpus": list(fig1_motivation.GPUS),
     }
     if args.json:
@@ -427,6 +442,10 @@ def _cmd_list(args) -> int:
         print(f"  {name:8s} {spec.description}{suffix}")
     for key in ("models", "datasets", "methods", "prefill_gpus"):
         print(f"{key}: {', '.join(catalog[key])}")
+    print("method families (spec grammar: family?key=val,… — defaults "
+          "shown):")
+    for name, fam in method_families().items():
+        print(f"  {fam.signature():42s} {fam.description}")
     return 0
 
 
@@ -455,7 +474,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--axis", action="append", default=[],
                        metavar="FIELD=V1,V2,…",
                        help="sweep axis (repeatable); methods values may "
-                            "join sets with '+'")
+                            "join sets with '+'; method.<param> sweeps a "
+                            "method-spec parameter, e.g. "
+                            "method.partition_size=32,64,128,256")
     sweep.add_argument("--scale", type=float, default=None)
     _add_scenario_flags(sweep)
     _add_output_flags(sweep)

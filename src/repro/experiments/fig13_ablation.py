@@ -31,6 +31,10 @@ from .fig1_motivation import DATASETS
 __all__ = ["AblationResult", "RqeAccuracyResult", "run_fig13", "run_table7",
            "FIG13_SWEEP"]
 
+#: The ablation grid.  ``hack_nose``/``hack_norqe`` are the paper's
+#: figure labels — legacy aliases of ``hack?se=off`` / ``hack?rqe=off``
+#: specs (see :mod:`repro.methods.families`), not bespoke registry
+#: entries.
 FIG13_SWEEP = Sweep(Scenario(methods=ABLATIONS), axes={"dataset": DATASETS})
 
 

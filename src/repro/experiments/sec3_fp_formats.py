@@ -18,14 +18,19 @@ from dataclasses import dataclass
 
 from ..analysis.tables import SeriesFigure
 from ..api import Runner, Scenario, Sweep
-from ..methods.registry import FP_FORMAT_METHODS
+from ..methods import MethodSpec, resolve_method
 from ..sim.engine import SimulationResult
 from .common import run_grid
 from .fig1_motivation import GPUS
 
 __all__ = ["FpFormatsResult", "run", "FP_SWEEP"]
 
-_METHODS = (*FP_FORMAT_METHODS, "hack")
+#: The FP grid as parameterized specs of the one ``fp`` family (plus
+#: HACK for contrast); row labels are the resolved Method names
+#: (fp4/fp6/fp8/hack), identical to the historical registry spelling.
+_SPECS = tuple(MethodSpec.of("fp", bits=b) for b in (4, 6, 8))
+_METHODS = (*(s.canonical() for s in _SPECS), "hack")
+_LABELS = [resolve_method(m).name for m in _METHODS]
 FP_SWEEP = Sweep(Scenario(methods=_METHODS), axes={"prefill_gpu": GPUS})
 
 
@@ -42,9 +47,9 @@ class FpFormatsResult:
 def run(scale: float = 1.0, runner: Runner | None = None) -> FpFormatsResult:
     """Reproduce the §3 FP4/6/8 ratios (plus HACK for contrast)."""
     comm = SeriesFigure("Sec 3: average comm time ratio (%) by prefill GPU",
-                        "method", list(_METHODS))
+                        "method", _LABELS)
     kv_access = SeriesFigure("Sec 3: KV memory access ratio of JCT (%)",
-                             "method", list(_METHODS))
+                             "method", _LABELS)
     results: dict[str, dict[str, SimulationResult]] = {}
     for art in run_grid(FP_SWEEP, scale, runner):
         gpu = art.scenario.prefill_gpu

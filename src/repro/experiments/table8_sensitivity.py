@@ -18,13 +18,18 @@ from ..accuracy.anchor import calibrate_kappa, dataset_sensitivity
 from ..accuracy.harness import attention_error
 from ..analysis.tables import Table
 from ..api import Runner, Scenario, Sweep
+from ..methods import MethodSpec
 from .common import run_grid
 from .fig1_motivation import DATASETS
 
 __all__ = ["SensitivityResult", "run", "TABLE8_SWEEP"]
 
 _PI_VALUES = (32, 64, 128)
-_METHODS = tuple(f"hack_pi{pi}" for pi in _PI_VALUES)
+#: The Π grid as parameterized specs of the one HACK family — the
+#: perf-model Methods and the accuracy path both materialize from
+#: these (no per-Π registry entries).
+_SPECS = {pi: MethodSpec.of("hack", partition_size=pi) for pi in _PI_VALUES}
+_METHODS = tuple(s.canonical() for s in _SPECS.values())
 
 TABLE8_SWEEP = Sweep(Scenario(methods=_METHODS), axes={"dataset": DATASETS})
 
@@ -44,16 +49,16 @@ class SensitivityResult:
 def run(scale: float = 1.0, n_trials: int = 4,
         runner: Runner | None = None) -> SensitivityResult:
     """Reproduce Table 8 across the four datasets."""
-    kappa = calibrate_kappa(attention_error("hack_pi64", n_trials=n_trials,
+    kappa = calibrate_kappa(attention_error(_SPECS[64], n_trials=n_trials,
                                             seed=100))
     jct_increase: dict[str, dict[int, float]] = {}
     accuracy_increase: dict[str, dict[int, float]] = {}
 
     for art in run_grid(TABLE8_SWEEP, scale, runner):
         dataset, res = art.scenario.dataset, art.results
-        base_jct = res["hack_pi128"].avg_jct()
+        base_jct = res[_SPECS[128].canonical()].avg_jct()
         errors = {
-            pi: attention_error(f"hack_pi{pi}", n_trials=n_trials, seed=100)
+            pi: attention_error(_SPECS[pi], n_trials=n_trials, seed=100)
             for pi in _PI_VALUES
         }
         sens = dataset_sensitivity(dataset)
@@ -61,7 +66,7 @@ def run(scale: float = 1.0, n_trials: int = 4,
         accuracy_increase[dataset] = {}
         for pi in (32, 64):
             jct_increase[dataset][pi] = (
-                res[f"hack_pi{pi}"].avg_jct() / base_jct - 1.0
+                res[_SPECS[pi].canonical()].avg_jct() / base_jct - 1.0
             )
             accuracy_increase[dataset][pi] = (
                 100.0 * kappa * sens * (errors[128] - errors[pi])

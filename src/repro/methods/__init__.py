@@ -1,5 +1,17 @@
-"""Method descriptors wiring quantizers into the performance model."""
+"""Method descriptors wiring quantizers into the performance model.
 
+Two layers:
+
+* :class:`MethodSpec` (:mod:`repro.methods.spec`) — the open,
+  serializable, sweepable method-definition API: families registered
+  with :func:`register_family`, parameterized specs, a compact string
+  grammar, and one resolution path producing both the perf-model
+  :class:`Method` and the accuracy-side compressors;
+* :mod:`repro.methods.registry` — the paper's 13 historical names,
+  materialized through that same path as legacy aliases.
+"""
+
+from . import families  # noqa: F401  (registers built-in families/aliases)
 from .base import FP16_BYTES, Method, quantized_bytes_per_value
 from .registry import (
     ABLATIONS,
@@ -8,6 +20,22 @@ from .registry import (
     PAPER_COMPARISON,
     get_method,
     hack_method,
+)
+from .spec import (
+    MethodFamily,
+    MethodSpec,
+    ParamDef,
+    apply_method_params,
+    canonical_method,
+    get_family,
+    has_registered_family,
+    legacy_names,
+    method_families,
+    method_spec,
+    parse_method,
+    register_family,
+    resolve_method,
+    split_method_list,
 )
 
 __all__ = [
@@ -20,4 +48,18 @@ __all__ = [
     "PAPER_COMPARISON",
     "ABLATIONS",
     "FP_FORMAT_METHODS",
+    "MethodSpec",
+    "MethodFamily",
+    "ParamDef",
+    "register_family",
+    "get_family",
+    "method_families",
+    "method_spec",
+    "parse_method",
+    "resolve_method",
+    "canonical_method",
+    "split_method_list",
+    "apply_method_params",
+    "has_registered_family",
+    "legacy_names",
 ]

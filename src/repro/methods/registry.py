@@ -1,5 +1,14 @@
 """The paper's method set (§7: baseline, CacheGen, KVQuant, HACK + ablations).
 
+Since the :class:`~repro.methods.spec.MethodSpec` redesign this module
+no longer hard-codes :class:`~repro.methods.base.Method` instances: the
+13 historical names are **legacy aliases** registered by
+:mod:`repro.methods.families`, each backed by a family spec, and
+``METHODS`` is materialized from them through the same resolution path
+any spec takes (``resolve_method``).  The resulting Method objects are
+bit-for-bit identical to the pre-spec registry (asserted by the golden
+test in ``tests/methods/test_spec.py``).
+
 Byte counts per KV scalar:
 
 * baseline — FP16, 2 bytes;
@@ -15,13 +24,14 @@ Byte counts per KV scalar:
 
 from __future__ import annotations
 
-from .base import FP16_BYTES, Method, quantized_bytes_per_value
+import dataclasses
+
+from . import families as _families  # noqa: F401  (registers the families)
+from .base import Method
+from .spec import MethodSpec, _suggest, legacy_names, resolve_method
 
 __all__ = ["METHODS", "get_method", "hack_method", "PAPER_COMPARISON",
            "ABLATIONS", "FP_FORMAT_METHODS"]
-
-#: ~86% compression credited to CacheGen/KVQuant in §2.2.
-_COMPARATOR_BYTES = 0.28
 
 
 def hack_method(
@@ -32,90 +42,30 @@ def hack_method(
     display_name: str | None = None,
     int_compute_gain: float = 1.0,
 ) -> Method:
-    """Build a HACK method variant (used for Π sensitivity and ablations)."""
-    wire = quantized_bytes_per_value(2, partition_size, include_sums=False)
-    mem = quantized_bytes_per_value(2, partition_size,
-                                    include_sums=summation_elimination)
-    if name is None:
-        name = f"hack_pi{partition_size}"
-        if not summation_elimination:
-            name += "_nose"
-        if not requant_elimination:
-            name += "_norqe"
-    if display_name is None:
-        display_name = f"HACK (Π={partition_size})"
-    return Method(
-        name=name,
-        display_name=display_name,
-        kv_wire_bytes_per_value=wire,
-        kv_mem_bytes_per_value=mem,
-        dequant_per_iter=False,
-        int8_attention=True,
-        int_compute_gain=int_compute_gain,
-        approx_per_iter=True,
-        quantize_cost=True,
+    """Build a HACK method variant (used for Π sensitivity and ablations).
+
+    A thin wrapper over the ``hack`` family — kept for callers that
+    want a Method directly rather than a :class:`MethodSpec`.
+    """
+    built = MethodSpec.of(
+        "hack",
         partition_size=partition_size,
         summation_elimination=summation_elimination,
         requant_elimination=requant_elimination,
-    )
+        int_compute_gain=int_compute_gain,
+    ).build_method()
+    overrides = {}
+    if name is not None:
+        overrides["name"] = name
+    if display_name is not None:
+        overrides["display_name"] = display_name
+    return dataclasses.replace(built, **overrides) if overrides else built
 
 
-def _fp_method(name: str, display: str, bits: int) -> Method:
-    per_value = bits / 8.0 + 1.0 / 32.0  # MX scale byte per 32 values
-    return Method(
-        name=name,
-        display_name=display,
-        kv_wire_bytes_per_value=per_value,
-        kv_mem_bytes_per_value=per_value,
-        # Pre-H100 GPUs must convert FPx to FP16 before compute (§3) —
-        # the same per-iteration materialization cost as dequantization.
-        dequant_per_iter=True,
-        fp8_attention_sim=(bits == 8),
-        quantize_cost=True,
-    )
-
-
+#: name → Method for the paper's 13 methods, resolved through the spec
+#: path (legacy aliases keep their historical names and display names).
 METHODS: dict[str, Method] = {
-    "baseline": Method(
-        name="baseline",
-        display_name="Baseline",
-        kv_wire_bytes_per_value=FP16_BYTES,
-        kv_mem_bytes_per_value=FP16_BYTES,
-    ),
-    "cachegen": Method(
-        name="cachegen",
-        display_name="CacheGen",
-        kv_wire_bytes_per_value=_COMPARATOR_BYTES,
-        kv_mem_bytes_per_value=_COMPARATOR_BYTES,
-        dequant_per_iter=True,
-        quantize_cost=True,
-    ),
-    "kvquant": Method(
-        name="kvquant",
-        display_name="KVQuant",
-        kv_wire_bytes_per_value=_COMPARATOR_BYTES,
-        kv_mem_bytes_per_value=_COMPARATOR_BYTES,
-        dequant_per_iter=True,
-        dequant_traffic_scale=1.25,
-        quantize_cost=True,
-    ),
-    "hack": hack_method(64, name="hack", display_name="HACK"),
-    "hack_pi32": hack_method(32),
-    "hack_pi64": hack_method(64),   # alias of "hack" with explicit Π
-    "hack_pi128": hack_method(128),
-    "hack_nose": hack_method(64, summation_elimination=False,
-                             name="hack_nose", display_name="HACK/SE"),
-    "hack_norqe": hack_method(64, requant_elimination=False,
-                              name="hack_norqe", display_name="HACK/RQE"),
-    # §8 future work: a CUDA INT4 kernel computing directly on the
-    # 2-bit codes at INT4 tensor rates (2x INT8 throughput; realized
-    # gain capped by the unchanged correction-term work).
-    "hack_int4": hack_method(64, name="hack_int4",
-                             display_name="HACK (INT4 kernel)",
-                             int_compute_gain=1.6),
-    "fp4": _fp_method("fp4", "FP4 (E2M1)", 4),
-    "fp6": _fp_method("fp6", "FP6 (E3M2)", 6),
-    "fp8": _fp_method("fp8", "FP8 (E4M3)", 8),
+    name: resolve_method(name) for name in legacy_names()
 }
 
 #: The four-way comparison of Figs. 9–12.
@@ -129,7 +79,17 @@ FP_FORMAT_METHODS = ("fp4", "fp6", "fp8")
 
 
 def get_method(name: str) -> Method:
-    """Look up a method by registry name."""
-    if name not in METHODS:
-        raise KeyError(f"unknown method {name!r}; choose from {sorted(METHODS)}")
-    return METHODS[name]
+    """Look up a method by registry name.
+
+    Raises :class:`ValueError` with close-match suggestions for typos
+    (``hack_pi_64`` → "did you mean 'hack_pi64'?").  Parameterized
+    specs (``hack?pi=256``) resolve through
+    :func:`repro.methods.spec.resolve_method` instead — this lookup is
+    the fixed paper set only.
+    """
+    try:
+        return METHODS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {name!r}{_suggest(name, METHODS)}"
+        ) from None

@@ -9,7 +9,6 @@ service rates for the given workload.
 
 from __future__ import annotations
 
-from ..methods.base import Method
 from ..methods.registry import get_method
 from ..model.config import ModelSpec
 from ..perfmodel.calibration import Calibration, DEFAULT_CALIBRATION

@@ -4,10 +4,8 @@ import numpy as np
 import pytest
 
 from repro.accuracy import (
-    ACCURACY_METHODS,
     K_DISTRIBUTION,
     PAPER_BASELINE_ACCURACY,
-    Q_DISTRIBUTION,
     TABLE6_CELLS,
     V_DISTRIBUTION,
     accuracy_from_error,
@@ -93,8 +91,20 @@ class TestAttentionError:
         assert a == b
 
     def test_unknown_method(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown method"):
             attention_error("int1")
+
+    def test_spec_matches_legacy_name(self):
+        """A parameterized spec measures exactly like its legacy alias."""
+        from repro.methods import MethodSpec
+
+        legacy = attention_error("hack_pi32", n_tokens=64, head_dim=32,
+                                 n_trials=2)
+        spec = attention_error(MethodSpec.of("hack", partition_size=32),
+                               n_tokens=64, head_dim=32, n_trials=2)
+        grammar = attention_error("hack?pi=32", n_tokens=64, head_dim=32,
+                                  n_trials=2)
+        assert legacy == spec == grammar
 
 
 class TestDecodePath:

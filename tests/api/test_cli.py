@@ -109,6 +109,60 @@ class TestSweep:
         assert isinstance(payload, list) and len(payload) == 1
         assert payload[0]["schema_version"] == 1
 
+    def test_method_param_axis_produces_per_spec_artifacts(self, tmp_path,
+                                                           capsys):
+        """The acceptance-criterion sweep: Π as a first-class axis."""
+        assert main(["sweep", "--methods", "hack", "--axis",
+                     "method.partition_size=32,64,128,256",
+                     "--n-requests", "10", "--dataset", "imdb",
+                     "--out", str(tmp_path)]) == 0
+        files = sorted(tmp_path.glob("*.json"))
+        assert len(files) == 4
+        methods = sorted(json.loads(p.read_text())["scenario"]["methods"][0]
+                         for p in files)
+        assert methods == ["hack?pi=128", "hack?pi=256", "hack?pi=32",
+                           "hack?pi=64"]
+
+    def test_method_param_axis_renders_table(self, capsys):
+        """The summary-table path must show the swept parameter value
+        (method.<param> is not a Scenario attribute)."""
+        assert main(["sweep", "--methods", "hack", "--axis",
+                     "method.partition_size=32,64", "--n-requests", "10",
+                     "--dataset", "imdb"]) == 0
+        out = capsys.readouterr().out
+        assert "method.partition_size" in out
+        assert "hack?pi=32" in out and "hack?pi=64" in out
+
+    def test_method_spec_in_methods_flag(self, capsys):
+        assert main(["run", "--dataset", "imdb", "--methods",
+                     "baseline,hack?pi=128,bits=4", "--n-requests", "10",
+                     "--json"]) == 0
+        artifact = json.loads(capsys.readouterr().out)
+        assert set(artifact["methods"]) == {"baseline", "hack?bits=4,pi=128"}
+
+    def test_methods_axis_value_may_be_a_multi_param_spec(self, capsys):
+        """A ',' inside a spec's parameters must not split the axis."""
+        assert main(["sweep", "--axis",
+                     "methods=baseline+hack?pi=128,bits=4,kvquant",
+                     "--dataset", "imdb", "--n-requests", "10",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        grids = sorted(tuple(a["scenario"]["methods"]) for a in payload)
+        assert grids == [("baseline", "hack?bits=4,pi=128"), ("kvquant",)]
+
+    def test_method_bool_axis_accepts_1_0(self, capsys):
+        assert main(["sweep", "--methods", "hack", "--axis",
+                     "method.se=1,0", "--dataset", "imdb",
+                     "--n-requests", "10", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        methods = [a["scenario"]["methods"][0] for a in payload]
+        assert methods == ["hack?se=on", "hack?se=off"]
+
+    def test_inapplicable_method_axis_is_clean_error(self, capsys):
+        assert main(["sweep", "--methods", "baseline", "--axis",
+                     "method.partition_size=32", "--n-requests", "10"]) == 2
+        assert "apply to none" in capsys.readouterr().err
+
 
 class TestCompareExport:
     @pytest.fixture(scope="class")
@@ -156,8 +210,10 @@ class TestLegacyAliases:
         assert main(["fig13", "--scale", "0.1"]) == 0
         via_alias = capsys.readouterr().out
         # identical up to the timing footer line
-        strip = lambda s: [l for l in s.splitlines()
-                           if not l.startswith("[fig13 took")]
+        def strip(s):
+            return [line for line in s.splitlines()
+                    if not line.startswith("[fig13 took")]
+
         assert strip(via_run) == strip(via_alias)
 
     def test_scale_rejected_for_accuracy_experiments(self):

@@ -45,7 +45,7 @@ class TestResolve:
         assert resolved.calib.net_efficiency == 0.5
 
     def test_unknown_method_raises(self):
-        with pytest.raises(KeyError, match="unknown method"):
+        with pytest.raises(ValueError, match="unknown method"):
             resolve(Scenario(methods=("no_such_method",)))
 
 

@@ -1,12 +1,10 @@
 """Tests for repro.cluster — GPUs, instances, parallelism, network, memory."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import (
     DEFAULT_PREFILL_FLEETS,
     GPUS,
-    INSTANCES,
     MemoryModel,
     NetworkModel,
     get_gpu,

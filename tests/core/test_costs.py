@@ -1,6 +1,5 @@
 """Tests for repro.core.costs — the paper's operation-count formulas."""
 
-import pytest
 
 from repro.core import costs
 
@@ -29,14 +28,15 @@ class TestPaperIdentities:
     """The paper's §5.3 cost claims, verified symbolically."""
 
     def test_decode_approx_cost_is_10_dh_plus_l(self):
-        d_h, l = 128, 1000
-        assert costs.hack_approx_flops_per_iter(d_h, l, True) == 10 * (d_h + l)
+        d_h, ctx = 128, 1000
+        assert costs.hack_approx_flops_per_iter(d_h, ctx, True) == \
+            10 * (d_h + ctx)
 
     def test_without_se_adds_2_dh_l(self):
-        d_h, l = 128, 1000
-        with_se = costs.hack_approx_flops_per_iter(d_h, l, True)
-        without = costs.hack_approx_flops_per_iter(d_h, l, False)
-        assert without - with_se == 2 * d_h * l
+        d_h, ctx = 128, 1000
+        with_se = costs.hack_approx_flops_per_iter(d_h, ctx, True)
+        without = costs.hack_approx_flops_per_iter(d_h, ctx, False)
+        assert without - with_se == 2 * d_h * ctx
 
     def test_dequant_cost(self):
         assert costs.kv_dequant_flops_per_iter(128, 1000) == 4 * 128 * 1000
@@ -52,16 +52,16 @@ class TestPaperIdentities:
     def test_order_of_magnitude_gap_beyond_l_30(self):
         """The paper: dequant exceeds approximation 10x once L > 30."""
         d_h = 128
-        for l in (31, 100, 1000, 16000):
-            assert costs.kv_dequant_flops_per_iter(d_h, l) > \
-                10 * costs.hack_approx_flops_per_iter(d_h, l) * 0.99
+        for ctx in (31, 100, 1000, 16000):
+            assert costs.kv_dequant_flops_per_iter(d_h, ctx) > \
+                10 * costs.hack_approx_flops_per_iter(d_h, ctx) * 0.99
 
     def test_savings_grow_with_sequence_length(self):
         d_h = 128
         gaps = [
-            costs.kv_dequant_flops_per_iter(d_h, l)
-            - costs.hack_approx_flops_per_iter(d_h, l)
-            for l in (100, 1000, 10000)
+            costs.kv_dequant_flops_per_iter(d_h, ctx)
+            - costs.hack_approx_flops_per_iter(d_h, ctx)
+            for ctx in (100, 1000, 10000)
         ]
         assert gaps[0] < gaps[1] < gaps[2]
 

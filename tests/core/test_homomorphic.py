@@ -12,7 +12,7 @@ from repro.core.homomorphic import (
     integer_matmul,
     transpose,
 )
-from repro.core.quantize import QuantizedTensor, dequantize, quantize
+from repro.core.quantize import dequantize, quantize
 from repro.core.rounding import make_rng
 
 

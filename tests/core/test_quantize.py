@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.core.quantize import (
-    QuantizedTensor,
     dequantize,
     partition_bounds,
     quantize,

@@ -102,8 +102,12 @@ class TestRegistry:
         assert not get_method("fp4").fp8_attention_sim
 
     def test_unknown_method(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown method"):
             get_method("int4")
+
+    def test_typo_gets_close_match_suggestion(self):
+        with pytest.raises(ValueError, match="did you mean 'hack_pi64'"):
+            get_method("hack_pi_64")
 
 
 class TestHackMethodFactory:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import DequantizingKVCache, Fp16KVCache, HackConfig, HackKVCache
+from repro.core import DequantizingKVCache, HackConfig, HackKVCache
 from repro.model import Transformer, TransformerWeights, rms_norm, silu, tiny_spec
 from repro.quant import CacheGenCompressor, KVQuantCompressor
 from repro.quant.roundtrip_cache import RoundtripKVCache

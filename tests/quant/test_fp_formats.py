@@ -12,7 +12,6 @@ from repro.quant.fp_formats import (
     FpCastCompressor,
     cast,
     decode,
-    encode,
     representable_values,
 )
 
