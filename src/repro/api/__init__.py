@@ -14,6 +14,7 @@ thin layers over this package.
 from .artifact import (
     SCHEMA_NAME,
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     MethodRun,
     RunArtifact,
     compare_artifacts,
@@ -36,4 +37,5 @@ __all__ = [
     "model_dataset",
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
 ]

@@ -2,11 +2,12 @@
 
 A :class:`RunArtifact` is the durable output of running one
 :class:`~repro.api.scenario.Scenario`: per-method summaries (JCT stats,
-the Fig. 10 decomposition, peak memory, swap counts) plus per-request
-records, under a stable schema (``hack-repro/run-artifact`` v1).
-Artifacts can be saved to disk, loaded back, rendered as tables and
-compared — the diffable, cacheable counterpart of the pretty-printed
-experiment output.
+the Fig. 10 decomposition, TTFT/TBT percentiles, SLO goodput, peak
+memory, swap counts) plus per-request records, under a stable schema
+(``hack-repro/run-artifact`` v2; v1 files — which predate the serving
+metrics — still load).  Artifacts can be saved to disk, loaded back,
+rendered as tables and compared — the diffable, cacheable counterpart
+of the pretty-printed experiment output.
 
 The JSON is fully deterministic (no timestamps, sorted keys), so a
 byte-identical artifact means an identical run — which is how the
@@ -24,20 +25,32 @@ from ..sim.engine import SimulationResult
 from .scenario import Scenario
 
 __all__ = ["RunArtifact", "MethodRun", "SCHEMA_NAME", "SCHEMA_VERSION",
-           "compare_artifacts"]
+           "SUPPORTED_SCHEMA_VERSIONS", "compare_artifacts"]
 
 SCHEMA_NAME = "hack-repro/run-artifact"
-SCHEMA_VERSION = 1
+#: Version written by this build.  v2 added TTFT/TBT/SLO serving
+#: metrics to summaries and per-request records; v1 files still load
+#: (their summaries simply lack the v2 keys).
+SCHEMA_VERSION = 2
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: Scalar summary keys surfaced by ``summary_table`` (the compact view).
+#: v2 keys render as "-" for v1 artifacts that predate them.
 SUMMARY_METRICS = ("avg_jct_s", "p50_jct_s", "p99_jct_s",
+                   "p99_ttft_s", "p99_tbt_s", "slo_goodput_rps",
                    "peak_memory_fraction", "n_swapped")
 
-#: Every scalar key in a MethodRun summary — ``compare`` checks all of
-#: these plus the per-bucket decomposition and per-request JCTs.
+#: Every scalar key in a MethodRun summary — ``compare`` checks those
+#: present on both sides, plus the per-bucket decomposition and
+#: per-request JCTs.
 _COMPARE_SCALARS = ("n_requests", "avg_jct_s", "p50_jct_s", "p95_jct_s",
                     "p99_jct_s", "max_jct_s", "peak_memory_fraction",
-                    "n_swapped")
+                    "n_swapped",
+                    # schema v2 serving metrics
+                    "mean_ttft_s", "p50_ttft_s", "p95_ttft_s", "p99_ttft_s",
+                    "mean_tbt_s", "p50_tbt_s", "p95_tbt_s", "p99_tbt_s",
+                    "mean_normalized_latency_s", "slo_ttft_s", "slo_tbt_s",
+                    "slo_attainment", "slo_goodput_rps")
 
 
 @dataclass
@@ -106,10 +119,11 @@ class RunArtifact:
                 f"not a {SCHEMA_NAME} artifact (schema={data.get('schema')!r})"
             )
         version = data.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise ValueError(
                 f"unsupported artifact schema_version {version!r}; "
-                f"this build reads version {SCHEMA_VERSION}"
+                f"this build reads versions "
+                f"{', '.join(map(str, SUPPORTED_SCHEMA_VERSIONS))}"
             )
         missing = {"scenario", "methods"} - set(data)
         if missing:
@@ -154,7 +168,8 @@ class RunArtifact:
         for method, run in self.methods.items():
             decomp = run.summary["mean_decomposition_s"]
             table.add_row(method,
-                          *(run.summary[k] for k in SUMMARY_METRICS),
+                          *(run.summary.get(k, "-")
+                            for k in SUMMARY_METRICS),
                           *(decomp[b] for b in buckets))
         return table
 
@@ -198,7 +213,8 @@ def compare_artifacts(a: RunArtifact, b: RunArtifact,
                 method_diff[metric] = {"a": va, "b": vb, "rel_diff": rel}
 
         for metric in _COMPARE_SCALARS:
-            check(metric, sa[metric], sb[metric])
+            if metric in sa and metric in sb:   # v2 keys absent in v1
+                check(metric, sa[metric], sb[metric])
         da, db = sa["mean_decomposition_s"], sb["mean_decomposition_s"]
         for bucket in sorted(set(da) | set(db)):
             check(f"mean_decomposition_s.{bucket}",

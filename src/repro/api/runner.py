@@ -83,7 +83,8 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
                              min(MAX_AUTO_REQUESTS, rps * 30)))
     n = max(10, int(n_requests * scenario.scale))
     trace = generate_trace(dataset_name, rps, n, seed=seed,
-                           max_context=max_context)
+                           max_context=max_context,
+                           arrival=scenario.arrival or "poisson")
     configs = {}
     for name in scenario.methods:
         config = default_cluster(

@@ -35,6 +35,11 @@ from ..methods import (
     split_method_list,
 )
 from ..model.config import ModelSpec
+from ..workload.arrivals import (
+    ArrivalSpec,
+    canonical_arrival,
+    has_arrival_process,
+)
 from ..workload.datasets import get_dataset
 
 __all__ = ["Scenario", "model_dataset", "DEFAULT_LOAD_FACTOR", "DEFAULT_SEED",
@@ -108,6 +113,12 @@ class Scenario:
     #: (legacy per-token events, for differential testing); ``None``
     #: keeps the cluster default.
     step_mode: str | None = None
+    #: Arrival process: a grammar string (``"poisson"``,
+    #: ``"mmpp?burst=4.0,duty=0.1"``, …) or an
+    #: :class:`~repro.workload.arrivals.ArrivalSpec`; ``None`` keeps
+    #: the historical Poisson default (and serializes/slugs exactly as
+    #: before the field existed).
+    arrival: str | None = None
     #: Overrides on DEFAULT_CALIBRATION, e.g. {"net_efficiency": 0.25}.
     calibration: tuple[tuple[str, float], ...] | None = None
     #: Optional human label; never affects resolution, equality or the
@@ -143,6 +154,18 @@ class Scenario:
                 f"step_mode must be 'span', 'token' or None, got "
                 f"{self.step_mode!r}"
             )
+        if self.arrival is not None:
+            # Same tolerance as methods: an unknown-family string stays
+            # verbatim so artifacts referencing a custom arrival process
+            # still load; running them raises at resolution.
+            arrival = self.arrival
+            if isinstance(arrival, ArrivalSpec) \
+                    or not isinstance(arrival, str) \
+                    or has_arrival_process(arrival):
+                arrival = canonical_arrival(arrival)
+            else:
+                arrival = arrival.strip()
+            object.__setattr__(self, "arrival", arrival)
 
     # -- derived views --------------------------------------------------------
 
@@ -167,10 +190,11 @@ class Scenario:
     def to_dict(self) -> dict:
         """A JSON-ready dict (calibration as a plain mapping).
 
-        ``step_mode`` is emitted only when set: a defaulted scenario
-        serializes exactly as it did before the field existed, so
-        schema-v1 readers predating it still load such artifacts (and
-        slugs of pre-existing scenarios are unchanged).
+        ``step_mode`` and ``arrival`` are emitted only when set: a
+        defaulted scenario serializes exactly as it did before the
+        fields existed, so schema readers predating them still load
+        such artifacts (and slugs of pre-existing scenarios are
+        unchanged).
         """
         out = dataclasses.asdict(self)
         out["methods"] = list(self.methods)
@@ -178,6 +202,8 @@ class Scenario:
                               if self.calibration else None)
         if out["step_mode"] is None:
             del out["step_mode"]
+        if out["arrival"] is None:
+            del out["arrival"]
         return out
 
     @classmethod
@@ -227,7 +253,7 @@ class Scenario:
                 f"methods={','.join(self.methods)}"]
         for fname in ("rps", "load_factor", "n_requests", "seed", "scale",
                       "n_prefill_replicas", "n_decode_replicas",
-                      "activation_overhead", "step_mode"):
+                      "activation_overhead", "step_mode", "arrival"):
             value = getattr(self, fname)
             if value is not None and (fname != "scale" or value != 1.0):
                 bits.append(f"{fname}={value}")

@@ -47,12 +47,14 @@ from .experiments import (
     fig13_ablation,
     fig14_scalability,
     sec3_fp_formats,
+    slo_goodput,
     table5_memory,
     table6_accuracy,
     table8_sensitivity,
 )
 from .methods import METHODS, method_families, split_method_list
 from .model.config import MODEL_LETTERS as MODEL_REGISTRY
+from .workload.arrivals import arrival_processes, split_arrival_list
 from .workload.datasets import DATASETS as DATASET_REGISTRY
 
 __all__ = ["main", "EXPERIMENTS", "build_parser"]
@@ -109,6 +111,9 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     "fig14": ExperimentSpec(
         "scalability vs prefill:decode ratio",
         lambda s, r: fig14_scalability.run(scale=s, runner=r)),
+    "slo": ExperimentSpec(
+        "SLO goodput under bursty/diurnal arrival processes",
+        lambda s, r: slo_goodput.run(scale=s, runner=r)),
 }
 
 #: Dataset axis used by the default ``sweep`` grid (Fig. 9 style).
@@ -155,6 +160,12 @@ def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
                        help="decode stepping: span (fast-forward, "
                             "default) or token (legacy differential "
                             "path)")
+    group.add_argument("--arrival", default=None,
+                       metavar="PROCESS",
+                       help="arrival process: poisson (default), "
+                            "constant, or a spec like "
+                            "mmpp?burst=4,duty=0.1,dwell=20 "
+                            "(see `list` for families and parameters)")
     group.add_argument("--calib", action="append", default=[],
                        metavar="KEY=VALUE",
                        help="calibration override (repeatable)")
@@ -200,6 +211,7 @@ def _scenario_from_args(args, scale: float) -> Scenario:
         n_decode_replicas=args.n_decode_replicas,
         activation_overhead=args.activation_overhead,
         step_mode=args.step_mode,
+        arrival=args.arrival,
         calibration=calibration,
     )
 
@@ -214,6 +226,10 @@ def _parse_axis(spec: str) -> tuple[str, tuple]:
         # like "baseline+hack?pi=128,bits=4" stays one method set.
         return field, tuple(tuple(v.split("+"))
                             for v in split_method_list(raw))
+    if field == "arrival":
+        # likewise for arrival specs: "poisson,mmpp?burst=4,duty=0.1"
+        # is two axis values, not three.
+        return field, tuple(split_arrival_list(raw))
     return field, tuple(_coerce(token) for token in raw.split(","))
 
 
@@ -431,6 +447,13 @@ def _cmd_list(args) -> int:
                               for p, pd in fam.params.items()}}
             for name, fam in method_families().items()
         },
+        "arrival_processes": {
+            name: {"description": fam.description,
+                   "signature": fam.signature(),
+                   "params": {p: pd.default
+                              for p, pd in fam.params.items()}}
+            for name, fam in arrival_processes().items()
+        },
         "prefill_gpus": list(fig1_motivation.GPUS),
     }
     if args.json:
@@ -445,6 +468,9 @@ def _cmd_list(args) -> int:
     print("method families (spec grammar: family?key=val,… — defaults "
           "shown):")
     for name, fam in method_families().items():
+        print(f"  {fam.signature():42s} {fam.description}")
+    print("arrival processes (--arrival, same grammar — defaults shown):")
+    for name, fam in arrival_processes().items():
         print(f"  {fam.signature():42s} {fam.description}")
     return 0
 

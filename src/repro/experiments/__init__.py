@@ -7,6 +7,7 @@ from . import (
     fig13_ablation,
     fig14_scalability,
     sec3_fp_formats,
+    slo_goodput,
     table5_memory,
     table6_accuracy,
     table8_sensitivity,
@@ -19,6 +20,7 @@ __all__ = [
     "fig13_ablation",
     "fig14_scalability",
     "sec3_fp_formats",
+    "slo_goodput",
     "table5_memory",
     "table6_accuracy",
     "table8_sensitivity",

@@ -288,6 +288,40 @@ class BatchCostModel:
                           decode_s=decode_total, dequant_s=dequant,
                           approx_s=approx, kv_read_s=kv_read)
 
+    def span_cumlat(self, ctx0, k: int) -> np.ndarray:
+        """Cumulative span latency after each of ``k`` iterations.
+
+        Element ``i-1`` equals ``span(ctx0, i).latency_s`` — computed
+        with the same exact integer context sums and the same
+        coefficient/addition order, so the last element is bitwise
+        identical to the span total the engine schedules its event at.
+        This is what gives the span fast path per-token completion
+        times (the TTFT/TBT substrate) without stepping token by token.
+        """
+        ctx0 = np.ascontiguousarray(ctx0, dtype=np.int64)
+        if ctx0.size == 0:
+            raise ValueError("span needs at least one request")
+        if k < 1:
+            raise ValueError(f"span length must be >= 1, got {k}")
+        if int(ctx0.min()) < 1:
+            raise ValueError("context lengths must be >= 1")
+        batch = int(ctx0.size)
+        i = np.arange(1, k + 1, dtype=np.int64)
+        n_costs = batch * i
+        s1 = i * int(ctx0.sum()) + batch * (i * (i - 1) // 2)
+        kv_read = self._a_kv * s1
+        compute = self._a_cmp * s1 + self._b_cmp * n_costs
+        dequant = self._a_dq * s1
+        approx = 0.0
+        if self.method.approx_per_iter:
+            stair = (self._stair_cumsum(ctx0[None, :] + (i[:, None] - 1))
+                     - self._stair_cumsum(ctx0 - 1)[None, :]).sum(axis=1)
+            approx = self._a_ap * s1 + self._b_ap * n_costs \
+                + self._c_ap * stair
+        requant = self._requant_s * n_costs
+        decode_total = i * self.shared_s + kv_read + compute + requant
+        return decode_total + dequant + approx
+
     def find_boundary(self, ctx0, k: int, elapsed_s: float) -> int:
         """Smallest ``j`` in ``[1, k]`` whose span latency reaches
         ``elapsed_s``.

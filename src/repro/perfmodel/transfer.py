@@ -15,7 +15,15 @@ from ..methods.base import Method
 from ..model.config import ModelSpec
 from .calibration import Calibration, DEFAULT_CALIBRATION
 
-__all__ = ["kv_wire_bytes", "transfer_time", "make_network_model"]
+__all__ = ["kv_wire_bytes", "transfer_time", "make_network_model",
+           "DEFAULT_PIPELINE_STAGES"]
+
+#: Granularity of transfer/compute overlap under layer-wise pipelining.
+#: KV is shipped per *pipeline stage*, not per layer — the engine's
+#: long-standing convention (``ClusterConfig.pipeline_stages``), which
+#: this module previously contradicted by overlapping at ``n_layers``
+#: granularity and so under-reported the exposed tail ~10×.
+DEFAULT_PIPELINE_STAGES = 8
 
 
 def make_network_model(calib: Calibration = DEFAULT_CALIBRATION) -> NetworkModel:
@@ -41,12 +49,14 @@ def transfer_time(
     pipelined: bool = False,
     prefill_compute_s: float = 0.0,
     via_cpu: bool = False,
+    n_stages: int = DEFAULT_PIPELINE_STAGES,
 ) -> float:
     """Seconds of *exposed* KV transfer time for one request.
 
     With ``pipelined=True`` the transfer overlaps the request's own
-    prefill compute layer by layer; ``via_cpu`` models the swap path
-    (which also makes pipelining infeasible, §2.1 case ii).
+    prefill compute at ``n_stages`` granularity (the engine's
+    per-pipeline-stage shipping, not per layer); ``via_cpu`` models the
+    swap path (which also makes pipelining infeasible, §2.1 case ii).
     """
     net = make_network_model(calib)
     nbytes = kv_wire_bytes(spec, method, prompt_len)
@@ -57,5 +67,5 @@ def transfer_time(
     if pipelined:
         return net.pipelined_exposed_time(nbytes, sender, receiver,
                                           compute_s=prefill_compute_s,
-                                          n_stages=spec.n_layers)
+                                          n_stages=n_stages)
     return net.transfer_time(nbytes, sender, receiver).seconds

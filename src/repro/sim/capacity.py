@@ -46,7 +46,12 @@ def stage_capacities(config: ClusterConfig, dataset: DatasetSpec,
     prefill_rps = config.n_prefill_replicas * per_batch / batch_s
 
     dec = config.decode_replica()
-    comm_s = transfer_time(spec, config.method, mean_in, pre, dec, calib)
+    # NIC occupancy is the *full* transfer time even under pipelining —
+    # overlap hides latency from the request, not load from the NIC —
+    # so the capacity bound deliberately never passes ``pipelined=True``
+    # (it forwards the engine's stage count only for signature parity).
+    comm_s = transfer_time(spec, config.method, mean_in, pre, dec, calib,
+                           n_stages=config.pipeline_stages)
     nic_rps = config.n_prefill_replicas / comm_s
     params = spec.param_bytes()
     capacity = (dec.mem_gb * 1e9 * (1 - config.mem_reserve_fraction)

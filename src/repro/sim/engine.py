@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import math
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -54,14 +53,22 @@ from ..model.config import ModelSpec
 from ..perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from ..perfmodel.decode import BatchCostModel
 from ..perfmodel.prefill import prefill_time
-from ..perfmodel.transfer import kv_wire_bytes, make_network_model
+from ..perfmodel.transfer import DEFAULT_PIPELINE_STAGES, kv_wire_bytes, \
+    make_network_model
 from ..workload.traces import TraceRequest
-from .request import SimRequest
+from .request import SimRequest, nearest_rank
 
 __all__ = ["ClusterConfig", "SimulationResult", "Simulator", "simulate",
-           "default_cluster"]
+           "default_cluster", "DEFAULT_TTFT_SLO_S", "DEFAULT_TBT_SLO_S"]
 
 _GB = 1e9
+
+#: Default service-level objectives for :meth:`SimulationResult.summary`.
+#: TTFT covers queueing + a long-prompt prefill pass on the §7.1
+#: clusters; TBT bounds the steady decode cadence.  Both are
+#: recomputable at any other point from the per-request records.
+DEFAULT_TTFT_SLO_S = 20.0
+DEFAULT_TBT_SLO_S = 0.5
 
 
 @dataclass(frozen=True)
@@ -89,8 +96,10 @@ class ClusterConfig:
     prefill_token_budget: int = 16384
     #: Granularity of transfer/compute overlap under pipelining: KV is
     #: shipped per pipeline stage, not per layer, so roughly 1/8 of the
-    #: transfer stays exposed even under perfect overlap.
-    pipeline_stages: int = 8
+    #: transfer stays exposed even under perfect overlap.  Shared with
+    #: :func:`repro.perfmodel.transfer.transfer_time` so the analytic
+    #: model and the engine agree on the overlap granularity.
+    pipeline_stages: int = DEFAULT_PIPELINE_STAGES
     #: Decode stepping: ``"span"`` fast-forwards whole runs of
     #: iterations between batch-composition changes in one heap event
     #: (closed-form latency sums); ``"token"`` is the legacy
@@ -184,9 +193,6 @@ class _DecodeReplica:
     def free_bytes(self) -> float:
         return self.capacity_bytes - self.used_bytes
 
-    def usage_fraction(self, total_gb: float) -> float:
-        return (self.base_bytes + self.used_bytes) / (total_gb * _GB)
-
 
 @dataclass
 class SimulationResult:
@@ -226,23 +232,86 @@ class SimulationResult:
         )
 
     @staticmethod
-    def _nearest_rank(jcts_sorted: list[float], p: float) -> float:
-        if not 0 <= p <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        rank = max(0, math.ceil(p / 100.0 * len(jcts_sorted)) - 1)
-        return jcts_sorted[rank]
+    def _nearest_rank(values_sorted, p: float) -> float:
+        return nearest_rank(values_sorted, p)
 
     def jct_percentile(self, p: float) -> float:
         """JCT at percentile ``p`` (nearest-rank over finished requests)."""
         return self._nearest_rank(sorted(r.jct for r in self.requests), p)
 
+    # -- serving metrics (TTFT / TBT / SLO) -----------------------------------
+
+    def ttfts(self) -> list[float]:
+        """Per-request time to first token (arrival → prefill end)."""
+        return [r.ttft for r in self.requests]
+
+    def ttft_percentile(self, p: float) -> float:
+        """TTFT at percentile ``p`` (nearest-rank)."""
+        return self._nearest_rank(sorted(self.ttfts()), p)
+
+    def tbt_gaps(self) -> np.ndarray:
+        """All inter-token gaps, pooled across requests (ascending)."""
+        parts = [r.tbt_gaps() for r in self.requests]
+        parts = [p for p in parts if p.size]
+        if not parts:
+            return np.empty(0, dtype=np.float64)
+        return np.sort(np.concatenate(parts))
+
+    def tbt_percentile(self, p: float) -> float:
+        """Pooled time-between-tokens at percentile ``p`` (nearest-rank)."""
+        return self._nearest_rank(self.tbt_gaps(), p)
+
+    def mean_normalized_latency(self) -> float:
+        """Mean JCT per output token (DistServe's normalized latency)."""
+        return sum(r.normalized_latency for r in self.requests) / len(
+            self.requests
+        )
+
+    def makespan_s(self) -> float:
+        """First arrival → last completion."""
+        return (max(r.finish for r in self.requests)
+                - min(r.arrival for r in self.requests))
+
+    def slo_attainment(self, ttft_slo_s: float = DEFAULT_TTFT_SLO_S,
+                       tbt_slo_s: float = DEFAULT_TBT_SLO_S) -> float:
+        """Fraction of requests meeting both SLOs.
+
+        A request attains when its TTFT is within ``ttft_slo_s`` *and*
+        its own p99 inter-token gap is within ``tbt_slo_s`` (the
+        KVServe/DistServe-style joint criterion; single-token requests
+        have no gaps and attain on TTFT alone).
+        """
+        met = sum(1 for r in self.requests
+                  if r.ttft <= ttft_slo_s
+                  and r.tbt_percentile(99) <= tbt_slo_s)
+        return met / len(self.requests)
+
+    def slo_goodput_rps(self, ttft_slo_s: float = DEFAULT_TTFT_SLO_S,
+                        tbt_slo_s: float = DEFAULT_TBT_SLO_S) -> float:
+        """SLO-attaining requests served per second of makespan."""
+        return self._goodput(self.slo_attainment(ttft_slo_s, tbt_slo_s))
+
+    def _goodput(self, attainment: float) -> float:
+        span = self.makespan_s()
+        attained = attainment * len(self.requests)
+        return attained / span if span > 0 else float("inf")
+
     def to_records(self) -> list[dict]:
-        """Per-request JSON-ready records (artifact schema v1)."""
+        """Per-request JSON-ready records (artifact schema v2)."""
         return [r.record() for r in self.requests]
 
-    def summary(self) -> dict:
-        """Cluster-level statistics as a flat JSON-ready mapping."""
+    def summary(self, ttft_slo_s: float = DEFAULT_TTFT_SLO_S,
+                tbt_slo_s: float = DEFAULT_TBT_SLO_S) -> dict:
+        """Cluster-level statistics as a flat JSON-ready mapping.
+
+        Schema v2: the v1 keys are unchanged; TTFT/TBT percentiles,
+        normalized latency and SLO attainment/goodput (evaluated at the
+        given SLO point) are appended.
+        """
         jcts = sorted(r.jct for r in self.requests)
+        ttfts = sorted(self.ttfts())
+        gaps = self.tbt_gaps()
+        attainment = self.slo_attainment(ttft_slo_s, tbt_slo_s)
         return {
             "n_requests": len(jcts),
             "avg_jct_s": sum(jcts) / len(jcts),
@@ -253,6 +322,19 @@ class SimulationResult:
             "mean_decomposition_s": self.mean_decomposition(),
             "peak_memory_fraction": self.peak_memory_fraction,
             "n_swapped": self.n_swapped,
+            "mean_ttft_s": sum(ttfts) / len(ttfts),
+            "p50_ttft_s": self._nearest_rank(ttfts, 50),
+            "p95_ttft_s": self._nearest_rank(ttfts, 95),
+            "p99_ttft_s": self._nearest_rank(ttfts, 99),
+            "mean_tbt_s": float(gaps.mean()) if gaps.size else 0.0,
+            "p50_tbt_s": self._nearest_rank(gaps, 50),
+            "p95_tbt_s": self._nearest_rank(gaps, 95),
+            "p99_tbt_s": self._nearest_rank(gaps, 99),
+            "mean_normalized_latency_s": self.mean_normalized_latency(),
+            "slo_ttft_s": ttft_slo_s,
+            "slo_tbt_s": tbt_slo_s,
+            "slo_attainment": attainment,
+            "slo_goodput_rps": self._goodput(attainment),
         }
 
 
@@ -262,6 +344,13 @@ class Simulator:
     def __init__(self, config: ClusterConfig, trace: list[TraceRequest]) -> None:
         if not trace:
             raise ValueError("trace must contain at least one request")
+        for tr in trace:
+            if tr.input_len < 1 or tr.output_len < 1:
+                raise ValueError(
+                    f"request {tr.request_id} needs input_len >= 1 and "
+                    f"output_len >= 1, got ({tr.input_len}, "
+                    f"{tr.output_len})"
+                )
         self.config = config
         self.trace = trace
         self.calib = config.calib
@@ -441,7 +530,15 @@ class Simulator:
         idx = req.decode_replica
         decode = self._decode[idx]
         # The prefill stage already produced the first output token.
-        remaining = max(1, req.trace.output_len - 1)
+        remaining = req.trace.output_len - 1
+        if remaining == 0:
+            # Single-token request: its only token exists already, so it
+            # finishes here without a decode iteration.  (A former
+            # ``max(1, …)`` off-by-one ran one spurious iteration,
+            # over-counting tokens_generated and decode time.)
+            self._finish_request(now, decode, req)
+            self._admit_pending(now)
+            return
         decode.active.append([req, remaining])
         if not decode.iteration_scheduled:
             self._schedule_decode(now, idx)
@@ -486,6 +583,7 @@ class Simulator:
         for entry in snapshot:
             entry[0].accrue_decode(decode_share, dequant_sum, approx_sum,
                                    kv_sum)
+            entry[0].add_token_time(now)
             entry[1] -= 1
             if entry[1] <= 0:
                 finished_entries.append(entry)
@@ -529,13 +627,19 @@ class Simulator:
 
         Each request accrues the *batch-wide* bucket sums (it waits
         through the whole batch's iteration), exactly as the token path
-        accrues them one iteration at a time.
+        accrues them one iteration at a time.  Token completion times
+        come from the closed-form cumulative latencies — one shared
+        vector per span whose last element is bitwise identical to the
+        span event's timestamp.
         """
         k = totals.k
+        token_times = decode.span_start + self.cost_model.span_cumlat(
+            decode.span_ctx0, k)
         for entry in decode.span_snapshot:
             entry[0].accrue_decode(totals.decode_s, totals.dequant_s,
                                    totals.approx_s, totals.kv_read_s,
                                    tokens=k)
+            entry[0].add_token_times(token_times)
             entry[1] -= k
 
     def _on_decode_span(self, now: float, payload) -> None:

@@ -5,18 +5,39 @@ accumulates the JCT decomposition the paper reports (Fig. 10): queueing,
 prefill compute, quantization, KV communication, decode, per-iteration
 dequantization (comparators) and Eq. 4 approximation (HACK), plus the
 KV-memory-access time inside decode (§2.1's 16–33% metric).
+
+It also carries the serving-metric substrate: the first output token is
+produced by prefill (``prefill_end``), and every decode token's
+completion time is recorded — per iteration on the token path, as a
+shared closed-form time vector per span on the fast path — so TTFT and
+time-between-tokens (TBT) statistics are derivable identically in both
+step modes.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..workload.traces import TraceRequest
 
-__all__ = ["SimRequest", "BUCKETS"]
+__all__ = ["SimRequest", "BUCKETS", "nearest_rank"]
 
 #: Decomposition bucket names, in the paper's Fig. 10 order.
 BUCKETS = ("queue", "prefill", "quant", "comm", "dequant_or_approx", "decode")
+
+
+def nearest_rank(values_sorted, p: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (0 when empty)."""
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    n = len(values_sorted)
+    if n == 0:
+        return 0.0
+    rank = max(0, math.ceil(p / 100.0 * n) - 1)
+    return float(values_sorted[rank])
 
 
 @dataclass
@@ -48,6 +69,15 @@ class SimRequest:
     tokens_generated: int = 0
     #: Decode-memory bytes reserved for this request.
     reserved_bytes: float = 0.0
+    #: Decode-token completion times, as appended chunks: floats on the
+    #: token path, per-span closed-form arrays (shared across the span's
+    #: batch, never mutated) on the span path.
+    _token_chunks: list = field(default_factory=list, repr=False,
+                                compare=False)
+    _token_times: np.ndarray | None = field(
+        default=None, repr=False, compare=False)
+    _tbt_gaps: np.ndarray | None = field(
+        default=None, repr=False, compare=False)
     #: Memoized decomposition — buckets are final once ``finish`` is
     #: set, so the first post-completion call caches for all aggregate
     #: consumers (mean decomposition/ratios, summary, records).
@@ -79,6 +109,80 @@ class SimRequest:
         busy = (self.prefill_s + self.quant_s + self.comm_s + self.decode_s
                 + self.dequant_s + self.approx_s)
         return max(0.0, self.jct - busy)
+
+    # -- serving metrics (TTFT / TBT) -----------------------------------------
+
+    @property
+    def first_token_s(self) -> float:
+        """Absolute time of the first output token (prefill produces it)."""
+        return self.prefill_end
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token: arrival → end of the prefill pass."""
+        if self.prefill_end < 0.0:
+            raise ValueError(f"request {self.request_id} has not prefilled")
+        return self.prefill_end - self.arrival
+
+    def add_token_time(self, t: float) -> None:
+        """Record one decode token's completion (token-path step)."""
+        self._token_chunks.append(t)
+
+    def add_token_times(self, times: np.ndarray) -> None:
+        """Record a span of decode token completions (fast-path step).
+
+        ``times`` is shared across the span's batch and must not be
+        mutated by any holder.
+        """
+        self._token_chunks.append(times)
+
+    def token_times(self) -> np.ndarray:
+        """Absolute completion times of the decode tokens (length
+        ``output_len - 1``; the first token is prefill's)."""
+        if self._token_times is None:
+            parts = [np.atleast_1d(np.asarray(c, dtype=np.float64))
+                     for c in self._token_chunks]
+            joined = np.concatenate(parts) if parts \
+                else np.empty(0, dtype=np.float64)
+            if not self.done:
+                return joined
+            self._token_times = joined
+        return self._token_times
+
+    def tbt_gaps(self) -> np.ndarray:
+        """Inter-token gaps after the first token (length
+        ``output_len - 1``).
+
+        The gap between prefill's first token and the first decode
+        token includes the KV transfer and any batching wait — exactly
+        the stall a user of a disaggregated deployment observes, and
+        the one KV compression shrinks.  Memoized once finished (the
+        aggregate consumers — summary, records — hit it repeatedly).
+        """
+        if self._tbt_gaps is not None:
+            return self._tbt_gaps
+        times = self.token_times()
+        if times.size == 0:
+            gaps = times
+        else:
+            gaps = np.diff(np.concatenate(([self.first_token_s], times)))
+        if self.done:
+            self._tbt_gaps = gaps
+        return gaps
+
+    def mean_tbt(self) -> float:
+        """Mean inter-token gap (0 for single-token requests)."""
+        gaps = self.tbt_gaps()
+        return float(gaps.mean()) if gaps.size else 0.0
+
+    def tbt_percentile(self, p: float) -> float:
+        """Nearest-rank percentile of this request's inter-token gaps."""
+        return nearest_rank(np.sort(self.tbt_gaps()), p)
+
+    @property
+    def normalized_latency(self) -> float:
+        """JCT per output token (the DistServe/vLLM normalized metric)."""
+        return self.jct / self.trace.output_len
 
     def accrue_decode(self, decode_s: float, dequant_s: float,
                       approx_s: float, kv_read_s: float,
@@ -114,10 +218,12 @@ class SimRequest:
         return dict(self._decomposition)
 
     def record(self) -> dict:
-        """Flat JSON-ready record of this request (artifact schema v1).
+        """Flat JSON-ready record of this request (artifact schema v2).
 
         Keys are stable: downstream tooling (``repro.api.artifact``,
-        ``repro.cli export``) depends on them.
+        ``repro.cli export``) depends on them.  Schema v2 adds the
+        serving metrics (``ttft_s``, ``tbt_*``, ``normalized_latency_s``)
+        on top of the v1 keys, which are unchanged.
         """
         return {
             "request_id": self.request_id,
@@ -130,6 +236,12 @@ class SimRequest:
             "jct_s": self.jct,
             "decomposition_s": self.decomposition(),
             "kv_access_s": self.kv_access_s,
+            "ttft_s": self.ttft,
+            "tbt_mean_s": self.mean_tbt(),
+            "tbt_p99_s": self.tbt_percentile(99),
+            "tbt_max_s": float(self.tbt_gaps().max())
+            if self.tbt_gaps().size else 0.0,
+            "normalized_latency_s": self.normalized_latency,
         }
 
     def ratios(self, include_queue: bool = False) -> dict[str, float]:

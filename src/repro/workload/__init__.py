@@ -1,5 +1,19 @@
-"""Workload substrate: dataset length models (Table 4) and traces."""
+"""Workload substrate: dataset length models (Table 4), pluggable
+arrival processes, and trace generation/merging."""
 
+from .arrivals import (
+    ArrivalParam,
+    ArrivalProcess,
+    ArrivalSpec,
+    arrival_processes,
+    arrival_spec,
+    canonical_arrival,
+    get_arrival_process,
+    has_arrival_process,
+    parse_arrival,
+    register_arrival,
+    split_arrival_list,
+)
 from .datasets import (
     DATASETS,
     DatasetSpec,
@@ -8,7 +22,7 @@ from .datasets import (
     SHORT_SEQUENCE_DATASETS,
     get_dataset,
 )
-from .traces import TraceRequest, capped_trace, generate_trace
+from .traces import TraceRequest, capped_trace, generate_trace, merge_traces
 
 __all__ = [
     "DATASETS",
@@ -20,4 +34,16 @@ __all__ = [
     "TraceRequest",
     "generate_trace",
     "capped_trace",
+    "merge_traces",
+    "ArrivalParam",
+    "ArrivalProcess",
+    "ArrivalSpec",
+    "arrival_processes",
+    "arrival_spec",
+    "canonical_arrival",
+    "get_arrival_process",
+    "has_arrival_process",
+    "parse_arrival",
+    "register_arrival",
+    "split_arrival_list",
 ]

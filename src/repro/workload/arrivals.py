@@ -1,0 +1,414 @@
+"""Pluggable arrival processes for trace generation.
+
+The paper evaluates under Poisson arrivals only (§7.1), but the serving
+systems this repo grows toward are judged on tail metrics under
+realistic load — bursty, diurnal, multi-tenant.  This module makes the
+arrival process a first-class, declarative axis, mirroring the
+:mod:`repro.methods.spec` design:
+
+* an **open registry** of :class:`ArrivalProcess` families
+  (:func:`register_arrival`), each turning ``(rng, rps, n)`` plus
+  keyword parameters into ``n`` absolute arrival times;
+* a frozen, JSON-friendly :class:`ArrivalSpec` (family + parameters)
+  with a compact string grammar for CLIs, scenarios and sweep axes::
+
+      poisson
+      gamma?cv=3.0
+      mmpp?burst=4.0,duty=0.1,dwell=20.0
+      diurnal?amp=0.8,period=600.0
+
+Built-in families:
+
+``constant``
+    Deterministic gaps of exactly ``1/rps`` — the zero-variance floor.
+``poisson``
+    Exponential inter-arrivals (the paper's / DistServe's default).
+    Reproduces the historical ``generate_trace`` stream bit-for-bit:
+    it draws the same single ``rng.exponential`` block first, so every
+    pre-existing trace, artifact and golden render is unchanged.
+``gamma``
+    Gamma-distributed gaps with coefficient of variation ``cv``
+    (``cv=1`` is Poisson-like, ``cv>1`` bursty, ``cv<1`` smoothed).
+``mmpp``
+    Two-state Markov-modulated Poisson process: a base state and a
+    burst state whose rate is ``burst``× higher, occupied a ``duty``
+    fraction of time with mean burst dwell ``dwell`` seconds.  The
+    long-run rate is exactly ``rps``.
+``diurnal``
+    Inhomogeneous Poisson with a sinusoidal rate
+    ``λ(t) = rps · (1 + amp · sin(2πt/period))`` (thinning sampler) —
+    a compressed day/night cycle.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ArrivalParam",
+    "ArrivalProcess",
+    "ArrivalSpec",
+    "register_arrival",
+    "get_arrival_process",
+    "arrival_processes",
+    "has_arrival_process",
+    "arrival_spec",
+    "parse_arrival",
+    "canonical_arrival",
+    "split_arrival_list",
+]
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class ArrivalParam:
+    """One family parameter: a float default plus a one-line doc."""
+
+    default: float
+    doc: str = ""
+
+
+class ArrivalProcess:
+    """Base class for arrival-process families.
+
+    Subclass, set :attr:`params`, implement :meth:`sample_arrivals`
+    (and optionally :meth:`validate`), then register with
+    :func:`register_arrival` — the family becomes usable everywhere an
+    arrival reference is accepted (``generate_trace``,
+    ``Scenario(arrival=…)``, ``--arrival``, sweep axes).
+    """
+
+    #: Registry key; also the prefix of the string grammar.
+    name: str = "abstract"
+    #: One-line summary shown by ``cli list``.
+    description: str = ""
+    #: Parameter table: name -> :class:`ArrivalParam` (floats only).
+    params: dict[str, ArrivalParam] = {}
+
+    def sample_arrivals(self, rng: np.random.Generator, rps: float,
+                        n: int, **params) -> np.ndarray:
+        """``n`` nondecreasing absolute arrival times (seconds > 0)."""
+        raise NotImplementedError
+
+    def validate(self, **params) -> None:
+        """Raise ``ValueError`` for out-of-range parameter values."""
+
+    def signature(self) -> str:
+        """Grammar template with defaults, e.g. ``gamma?cv=2.0``."""
+        if not self.params:
+            return self.name
+        parts = [f"{name}={pd.default!r}" for name, pd in self.params.items()]
+        return f"{self.name}?{','.join(parts)}"
+
+
+_ARRIVALS: dict[str, ArrivalProcess] = {}
+
+
+def register_arrival(name: str | None = None, *, replace: bool = False):
+    """Class decorator registering an :class:`ArrivalProcess` family."""
+
+    def decorator(obj):
+        family = obj() if isinstance(obj, type) else obj
+        if name is not None:
+            family.name = name
+        if not _NAME_RE.match(family.name or ""):
+            raise ValueError(
+                f"arrival family name {family.name!r} must match "
+                f"{_NAME_RE.pattern}"
+            )
+        if family.name in _ARRIVALS and not replace:
+            raise ValueError(
+                f"arrival family {family.name!r} is already registered; "
+                "pass register_arrival(..., replace=True) to override"
+            )
+        for pname, pd in family.params.items():
+            if not isinstance(pd.default, (int, float)) \
+                    or isinstance(pd.default, bool):
+                raise ValueError(
+                    f"parameter {pname!r} default must be a number, got "
+                    f"{type(pd.default).__name__}"
+                )
+        _ARRIVALS[family.name] = family
+        return obj
+
+    return decorator
+
+
+def get_arrival_process(name: str) -> ArrivalProcess:
+    """Look up a registered family, with typo suggestions."""
+    try:
+        return _ARRIVALS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown arrival process {name!r}{_suggest(name, _ARRIVALS)}"
+        ) from None
+
+
+def arrival_processes() -> dict[str, ArrivalProcess]:
+    """All registered families (a copy; registration order preserved)."""
+    return dict(_ARRIVALS)
+
+
+def has_arrival_process(reference: str) -> bool:
+    """True when a string arrival reference names a family registered in
+    this process (parameters may still be invalid)."""
+    return reference.strip().partition("?")[0].strip() in _ARRIVALS
+
+
+def _suggest(name: str, candidates) -> str:
+    matches = difflib.get_close_matches(name, list(candidates), n=3)
+    if matches:
+        return "; did you mean " + " or ".join(repr(m) for m in matches) + "?"
+    return f"; choose from {', '.join(sorted(candidates))}"
+
+
+# -- the spec -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """A declarative arrival-process definition: family + parameters.
+
+    ``params`` holds only the parameters given explicitly (family
+    defaults fill the rest at sample time), coerced to float and
+    sorted, so different spellings compare and hash equal.  Like
+    :class:`~repro.methods.spec.MethodSpec`, an explicitly-given
+    default is kept: ``gamma?cv=2.0`` stays distinct from ``gamma``.
+    """
+
+    kind: str
+    params: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        family = get_arrival_process(self.kind)
+        items = self.params.items() if isinstance(self.params, dict) \
+            else self.params
+        normalized: dict[str, float] = {}
+        for key, value in items:
+            if key not in family.params:
+                raise ValueError(
+                    f"arrival process {self.kind!r} has no parameter "
+                    f"{key!r}{_suggest(key, family.params)}"
+                )
+            if key in normalized:
+                raise ValueError(
+                    f"parameter {key!r} given twice for arrival process "
+                    f"{self.kind!r}"
+                )
+            try:
+                normalized[key] = float(value)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"parameter {key!r} of arrival process {self.kind!r} "
+                    f"expects a number, got {value!r}"
+                ) from None
+        object.__setattr__(self, "params", tuple(sorted(normalized.items())))
+        family.validate(**self.resolved_params())
+
+    @classmethod
+    def of(cls, kind: str, **params) -> "ArrivalSpec":
+        return cls(kind, tuple(params.items()))
+
+    def resolved_params(self) -> dict[str, float]:
+        """Family defaults overlaid with this spec's parameters."""
+        family = get_arrival_process(self.kind)
+        out = {name: float(pd.default) for name, pd in family.params.items()}
+        out.update(self.params)
+        return out
+
+    def sample(self, rng: np.random.Generator, rps: float,
+               n: int) -> np.ndarray:
+        """``n`` absolute arrival times at long-run rate ``rps``."""
+        if rps <= 0:
+            raise ValueError(f"rps must be positive, got {rps}")
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        family = get_arrival_process(self.kind)
+        return family.sample_arrivals(rng, rps, n, **self.resolved_params())
+
+    def canonical(self) -> str:
+        """Compact string form, e.g. ``mmpp?burst=4.0,duty=0.1``."""
+        if not self.params:
+            return self.kind
+        parts = [f"{k}={v!r}" for k, v in self.params]
+        return f"{self.kind}?{','.join(parts)}"
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+# -- string grammar -----------------------------------------------------------
+
+def parse_arrival(text: str) -> ArrivalSpec:
+    """Parse ``family[?key=value,…]`` into an :class:`ArrivalSpec`."""
+    text = text.strip()
+    kind, sep, rest = text.partition("?")
+    kind = kind.strip()
+    if kind not in _ARRIVALS:
+        raise ValueError(
+            f"unknown arrival process {kind!r}{_suggest(kind, _ARRIVALS)}"
+        )
+    if not sep:
+        return ArrivalSpec(kind)
+    pairs = []
+    for item in rest.split(","):
+        key, eq, value = item.partition("=")
+        key, value = key.strip(), value.strip()
+        if not eq or not key or not value:
+            raise ValueError(
+                f"bad arrival parameter {item!r} in {text!r}; the grammar "
+                "is family?key=value,key=value"
+            )
+        pairs.append((key, value))
+    return ArrivalSpec(kind, tuple(pairs))
+
+
+def arrival_spec(reference) -> ArrivalSpec:
+    """The :class:`ArrivalSpec` behind any arrival reference: a spec or
+    a grammar string."""
+    if isinstance(reference, ArrivalSpec):
+        return reference
+    if isinstance(reference, str):
+        return parse_arrival(reference)
+    raise TypeError(
+        f"expected an ArrivalSpec or string, got "
+        f"{type(reference).__name__}"
+    )
+
+
+def canonical_arrival(reference) -> str:
+    """The canonical string form of an arrival reference."""
+    return arrival_spec(reference).canonical()
+
+
+def split_arrival_list(text: str) -> list[str]:
+    """Split a comma-separated arrival list, keeping spec parameters
+    attached: ``"poisson,mmpp?burst=4,duty=0.2"`` →
+    ``["poisson", "mmpp?burst=4,duty=0.2"]`` (a ``key=value`` token
+    after a ``?`` spec continues that spec)."""
+    parts: list[str] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if parts and "=" in token and "?" not in token and "?" in parts[-1]:
+            parts[-1] += "," + token
+        else:
+            parts.append(token)
+    return parts
+
+
+# -- built-in families --------------------------------------------------------
+
+@register_arrival("constant")
+class ConstantArrivals(ArrivalProcess):
+    description = "deterministic gaps of exactly 1/rps (zero variance)"
+    params: dict[str, ArrivalParam] = {}
+
+    def sample_arrivals(self, rng, rps, n, **params):
+        return np.arange(1, n + 1, dtype=np.float64) / rps
+
+
+@register_arrival("poisson")
+class PoissonArrivals(ArrivalProcess):
+    description = "exponential inter-arrivals (the paper's §7.1 default)"
+    params: dict[str, ArrivalParam] = {}
+
+    def sample_arrivals(self, rng, rps, n, **params):
+        # One exponential block, drawn first: byte-compatible with the
+        # historical generate_trace RNG stream (traces, artifacts and
+        # golden renders of every pre-arrival-process run are unchanged).
+        gaps = rng.exponential(scale=1.0 / rps, size=n)
+        return np.cumsum(gaps)
+
+
+@register_arrival("gamma")
+class GammaArrivals(ArrivalProcess):
+    description = "gamma gaps with coefficient of variation cv (bursty >1)"
+    params = {
+        "cv": ArrivalParam(2.0, "coefficient of variation of the gaps"),
+    }
+
+    def validate(self, *, cv):
+        if cv <= 0:
+            raise ValueError(f"gamma cv must be positive, got {cv}")
+
+    def sample_arrivals(self, rng, rps, n, *, cv):
+        shape = 1.0 / (cv * cv)
+        scale = (cv * cv) / rps          # mean gap stays 1/rps
+        gaps = rng.gamma(shape, scale, size=n)
+        return np.cumsum(gaps)
+
+
+@register_arrival("mmpp")
+class MMPPArrivals(ArrivalProcess):
+    description = "2-state Markov-modulated Poisson bursts (long-run rps)"
+    params = {
+        "burst": ArrivalParam(4.0, "burst-state rate multiplier (>= 1)"),
+        "duty": ArrivalParam(0.1, "long-run fraction of time in burst"),
+        "dwell": ArrivalParam(20.0, "mean burst-state dwell, seconds"),
+    }
+
+    def validate(self, *, burst, duty, dwell):
+        if burst < 1:
+            raise ValueError(f"mmpp burst must be >= 1, got {burst}")
+        if not 0 < duty < 1:
+            raise ValueError(f"mmpp duty must be in (0, 1), got {duty}")
+        if dwell <= 0:
+            raise ValueError(f"mmpp dwell must be positive, got {dwell}")
+
+    def sample_arrivals(self, rng, rps, n, *, burst, duty, dwell):
+        # Base rate chosen so the time-averaged rate is exactly rps.
+        base = rps / (1.0 - duty + duty * burst)
+        rates = (base, base * burst)
+        dwells = (dwell * (1.0 - duty) / duty, dwell)
+        times = np.empty(n, dtype=np.float64)
+        t, state = 0.0, 0
+        boundary = rng.exponential(dwells[state])
+        i = 0
+        while i < n:
+            gap = rng.exponential(1.0 / rates[state])
+            if t + gap < boundary:
+                t += gap
+                times[i] = t
+                i += 1
+            else:
+                # Memorylessness: restarting the exponential at the
+                # state switch leaves the process law unchanged.
+                t = boundary
+                state = 1 - state
+                boundary = t + rng.exponential(dwells[state])
+        return times
+
+
+@register_arrival("diurnal")
+class DiurnalArrivals(ArrivalProcess):
+    description = "sinusoidal rate rps*(1 + amp*sin(2πt/period)), thinned"
+    params = {
+        "amp": ArrivalParam(0.5, "relative amplitude of the rate swing"),
+        "period": ArrivalParam(600.0, "cycle length, seconds"),
+    }
+
+    def validate(self, *, amp, period):
+        if not 0 <= amp <= 1:
+            raise ValueError(f"diurnal amp must be in [0, 1], got {amp}")
+        if period <= 0:
+            raise ValueError(f"diurnal period must be positive, got {period}")
+
+    def sample_arrivals(self, rng, rps, n, *, amp, period):
+        lam_max = rps * (1.0 + amp)
+        omega = 2.0 * np.pi / period
+        times = np.empty(n, dtype=np.float64)
+        t = 0.0
+        i = 0
+        while i < n:                      # Lewis–Shedler thinning
+            t += rng.exponential(1.0 / lam_max)
+            accept = (1.0 + amp * np.sin(omega * t)) / (1.0 + amp)
+            if rng.random() < accept:
+                times[i] = t
+                i += 1
+        return times

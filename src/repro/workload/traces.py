@@ -1,19 +1,24 @@
-"""Request trace generation (§7.1: Poisson arrivals at a target RPS).
+"""Request trace generation (§7.1: arrivals at a target RPS).
 
 A trace is a list of :class:`TraceRequest` — arrival time plus sampled
 input/output lengths — that the simulator replays.  Arrivals follow a
-Poisson process (exponential inter-arrival times), as in DistServe.
+pluggable :class:`~repro.workload.arrivals.ArrivalProcess` (default:
+the paper's Poisson process, as in DistServe); traces from different
+datasets/processes can be interleaved into one multi-tenant trace with
+:func:`merge_traces`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
 
+from .arrivals import ArrivalSpec, arrival_spec
 from .datasets import DatasetSpec, get_dataset
 
-__all__ = ["TraceRequest", "generate_trace", "capped_trace"]
+__all__ = ["TraceRequest", "generate_trace", "capped_trace", "merge_traces"]
 
 
 @dataclass(frozen=True)
@@ -36,15 +41,16 @@ def generate_trace(
     n_requests: int,
     seed: int = 0,
     max_context: int | None = None,
+    arrival: str | ArrivalSpec = "poisson",
 ) -> list[TraceRequest]:
-    """Sample a Poisson trace of ``n_requests`` from ``dataset``.
+    """Sample a trace of ``n_requests`` from ``dataset``.
 
     Parameters
     ----------
     dataset:
         Dataset name or spec (Table 4).
     rps:
-        Mean arrival rate, requests per second.
+        Long-run mean arrival rate, requests per second.
     n_requests:
         Trace length.
     seed:
@@ -52,16 +58,28 @@ def generate_trace(
     max_context:
         Optional model context cap: input lengths are clipped so
         ``input + output <= max_context`` (how the paper runs Falcon's
-        2K window on the arXiv dataset).
+        2K window on the arXiv dataset).  Must be >= 2 — one input and
+        one output token are the smallest expressible request.
+    arrival:
+        Arrival process: a grammar string (``"poisson"``,
+        ``"mmpp?burst=4,duty=0.1"``, …) or an
+        :class:`~repro.workload.arrivals.ArrivalSpec`.  The default
+        Poisson process reproduces the historical trace stream
+        bit-for-bit.
     """
     if rps <= 0:
         raise ValueError(f"rps must be positive, got {rps}")
     if n_requests < 1:
         raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    if max_context is not None and max_context < 2:
+        raise ValueError(
+            f"max_context must be >= 2 (one prompt token, one output "
+            f"token), got {max_context}"
+        )
     spec = dataset if isinstance(dataset, DatasetSpec) else get_dataset(dataset)
+    process = arrival_spec(arrival)
     rng = np.random.default_rng(seed)
-    gaps = rng.exponential(scale=1.0 / rps, size=n_requests)
-    arrivals = np.cumsum(gaps)
+    arrivals = process.sample(rng, rps, n_requests)
     in_lens, out_lens = spec.sample_request_lengths(n_requests, rng)
     if max_context is not None:
         out_lens = np.minimum(out_lens, max_context - 1)
@@ -78,3 +96,24 @@ def capped_trace(dataset: str | DatasetSpec, rps: float, n_requests: int,
     """Convenience wrapper: trace clipped to a model's context window."""
     return generate_trace(dataset, rps, n_requests, seed=seed,
                           max_context=model_max_context)
+
+
+def merge_traces(*traces: list[TraceRequest]) -> list[TraceRequest]:
+    """Interleave several traces into one multi-tenant trace.
+
+    Requests are merged by arrival time (ties keep the input order,
+    tenant-by-tenant) and renumbered ``0..n-1`` so the result is a
+    valid simulator trace.  Each tenant's trace is typically generated
+    from a different dataset and/or arrival process::
+
+        merge_traces(
+            generate_trace("cocktail", 0.5, 60, seed=1),
+            generate_trace("imdb", 4.0, 200, seed=2, arrival="mmpp"),
+        )
+    """
+    if not traces:
+        raise ValueError("merge_traces needs at least one trace")
+    merged = sorted((r for trace in traces for r in trace),
+                    key=lambda r: r.arrival_s)
+    return [dataclasses.replace(r, request_id=i)
+            for i, r in enumerate(merged)]

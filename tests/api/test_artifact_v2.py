@@ -1,0 +1,143 @@
+"""Schema v2 artifacts (serving metrics) and arrival-process plumbing."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    Runner,
+    RunArtifact,
+    SCHEMA_VERSION,
+    Scenario,
+    Sweep,
+    compare_artifacts,
+)
+from repro.api.runner import resolve
+from repro.cli import main
+
+SMALL = Scenario(methods=("baseline",), dataset="imdb", n_requests=12,
+                 seed=3)
+
+
+def _as_v1(artifact: RunArtifact) -> dict:
+    """Strip a fresh artifact back to the v1 shape (as an old file)."""
+    v1_summary = ("n_requests", "avg_jct_s", "p50_jct_s", "p95_jct_s",
+                  "p99_jct_s", "max_jct_s", "mean_decomposition_s",
+                  "peak_memory_fraction", "n_swapped")
+    v1_record = ("request_id", "arrival_s", "input_len", "output_len",
+                 "prefill_replica", "decode_replica", "swapped", "jct_s",
+                 "decomposition_s", "kv_access_s")
+    data = json.loads(artifact.to_json())
+    data["schema_version"] = 1
+    for run in data["methods"].values():
+        run["summary"] = {k: run["summary"][k] for k in v1_summary}
+        run["requests"] = [{k: r[k] for k in v1_record}
+                           for r in run["requests"]]
+    return data
+
+
+class TestSchemaV2:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return Runner().run(SMALL)
+
+    def test_writes_v2(self, artifact):
+        assert SCHEMA_VERSION == 2
+        assert artifact.to_dict()["schema_version"] == 2
+
+    def test_summary_has_serving_metrics(self, artifact):
+        s = artifact.methods["baseline"].summary
+        assert s["p99_ttft_s"] > 0
+        assert s["p99_tbt_s"] > 0
+        assert 0.0 <= s["slo_attainment"] <= 1.0
+
+    def test_v1_artifact_still_loads(self, artifact):
+        loaded = RunArtifact.from_dict(_as_v1(artifact))
+        assert loaded.scenario == SMALL
+        assert "p99_ttft_s" not in loaded.methods["baseline"].summary
+
+    def test_v1_artifact_renders(self, artifact):
+        loaded = RunArtifact.from_dict(_as_v1(artifact))
+        text = loaded.summary_table().render()
+        assert "p99_ttft_s" in text      # column exists, cells are "-"
+        assert "-" in text
+
+    def test_v1_vs_v2_compare_ignores_missing_keys(self, artifact):
+        """Same run, old file vs new file: shared metrics all match, so
+        the diff must not flag the v2-only keys."""
+        loaded = RunArtifact.from_dict(_as_v1(artifact))
+        diff = compare_artifacts(artifact, loaded)
+        assert diff["equal"]
+
+    def test_unknown_version_still_rejected(self, artifact):
+        data = artifact.to_dict()
+        data["schema_version"] = 3
+        with pytest.raises(ValueError, match="schema_version"):
+            RunArtifact.from_dict(data)
+
+
+class TestScenarioArrival:
+    def test_default_omits_arrival(self):
+        """Slug/JSON stability: a defaulted scenario serializes exactly
+        as it did before the field existed."""
+        assert "arrival" not in Scenario().to_dict()
+
+    def test_round_trip_and_canonicalization(self):
+        s = Scenario(arrival="mmpp?duty=0.2,burst=4")
+        assert s.arrival == "mmpp?burst=4.0,duty=0.2"
+        assert Scenario.from_json(s.to_json()).arrival == s.arrival
+        assert "arrival=mmpp?burst=4.0,duty=0.2" in s.describe()
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(arrival="mmpp?duty=2.0")
+
+    def test_unknown_family_kept_verbatim(self):
+        """Artifacts referencing a custom arrival process must load."""
+        s = Scenario(arrival="my_custom_process?x=1")
+        assert s.arrival == "my_custom_process?x=1"
+
+    def test_resolve_plumbs_arrival(self):
+        poisson = resolve(SMALL)
+        bursty = resolve(SMALL.replace(arrival="gamma?cv=4.0"))
+        assert poisson.trace != bursty.trace
+        explicit = resolve(SMALL.replace(arrival="poisson"))
+        assert poisson.trace == explicit.trace
+
+    def test_sweepable(self):
+        sweep = Sweep(SMALL, axes={"arrival": ["poisson", "gamma?cv=3.0"]})
+        cells = sweep.expand()
+        assert [c.arrival for c in cells] == ["poisson", "gamma?cv=3.0"]
+
+
+class TestCliArrival:
+    def test_run_flag(self, capsys):
+        assert main(["run", "--methods", "baseline", "--dataset", "imdb",
+                     "--n-requests", "10", "--arrival",
+                     "mmpp?burst=4,duty=0.2", "--json"]) == 0
+        artifact = json.loads(capsys.readouterr().out)
+        assert artifact["scenario"]["arrival"] == "mmpp?burst=4.0,duty=0.2"
+        summary = artifact["methods"]["baseline"]["summary"]
+        assert "slo_goodput_rps" in summary
+
+    def test_sweep_axis_keeps_spec_params_attached(self, tmp_path):
+        assert main(["sweep", "--methods", "hack", "--dataset", "imdb",
+                     "--n-requests", "10", "--axis",
+                     "arrival=poisson,mmpp?burst=4,duty=0.2",
+                     "--out", str(tmp_path)]) == 0
+        files = sorted(tmp_path.glob("*.json"))
+        assert len(files) == 2
+        arrivals = sorted(json.loads(p.read_text())["scenario"]
+                          .get("arrival", "poisson") for p in files)
+        assert arrivals == ["mmpp?burst=4.0,duty=0.2", "poisson"]
+
+    def test_unknown_arrival_is_clean_cli_error(self, capsys):
+        assert main(["run", "--methods", "baseline", "--n-requests", "10",
+                     "--arrival", "bursty"]) == 2
+        assert "unknown arrival process" in capsys.readouterr().err
+
+    def test_list_shows_arrival_processes(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert "mmpp" in catalog["arrival_processes"]
+        assert "slo" in catalog["experiments"]
