@@ -38,14 +38,14 @@ SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 #: v2 keys render as "-" for v1 artifacts that predate them.
 SUMMARY_METRICS = ("avg_jct_s", "p50_jct_s", "p99_jct_s",
                    "p99_ttft_s", "p99_tbt_s", "slo_goodput_rps",
-                   "peak_memory_fraction", "n_swapped")
+                   "peak_memory_fraction", "n_swapped", "n_rejected")
 
 #: Every scalar key in a MethodRun summary — ``compare`` checks those
 #: present on both sides, plus the per-bucket decomposition and
 #: per-request JCTs.
 _COMPARE_SCALARS = ("n_requests", "avg_jct_s", "p50_jct_s", "p95_jct_s",
                     "p99_jct_s", "max_jct_s", "peak_memory_fraction",
-                    "n_swapped",
+                    "n_swapped", "n_rejected",
                     # schema v2 serving metrics
                     "mean_ttft_s", "p50_ttft_s", "p95_ttft_s", "p99_ttft_s",
                     "mean_tbt_s", "p50_tbt_s", "p95_tbt_s", "p99_tbt_s",

@@ -55,6 +55,11 @@ class ResolvedScenario:
     n_requests: int
     trace: tuple[TraceRequest, ...]
     configs: dict[str, ClusterConfig]
+    #: How many requests the model's context cap reshaped (see
+    #: :class:`repro.workload.Trace`); both 0 when ``max_context`` is
+    #: None.
+    n_input_clipped: int = 0
+    n_output_clipped: int = 0
 
 
 def _resolve_calibration(scenario: Scenario) -> Calibration:
@@ -91,6 +96,7 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
             spec, resolve_method(name), scenario.prefill_gpu, calib=calib,
             pipelining=scenario.pipelining, decode_gpu=scenario.decode_gpu,
             activation_overhead=scenario.activation_overhead,
+            scheduler=scenario.scheduler,
         )
         overrides = {}
         if scenario.n_prefill_replicas is not None:
@@ -105,7 +111,9 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
     return ResolvedScenario(scenario=scenario, spec=spec,
                             dataset=dataset_name, max_context=max_context,
                             calib=calib, rps=rps, n_requests=n,
-                            trace=tuple(trace), configs=configs)
+                            trace=tuple(trace), configs=configs,
+                            n_input_clipped=trace.n_input_clipped,
+                            n_output_clipped=trace.n_output_clipped)
 
 
 def _timed_simulate(config: ClusterConfig, trace: list[TraceRequest],

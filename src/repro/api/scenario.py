@@ -35,6 +35,11 @@ from ..methods import (
     split_method_list,
 )
 from ..model.config import ModelSpec
+from ..sim.scheduling import (
+    SchedulerSpec,
+    canonical_scheduler,
+    has_scheduler_policies,
+)
 from ..workload.arrivals import (
     ArrivalSpec,
     canonical_arrival,
@@ -119,6 +124,13 @@ class Scenario:
     #: the historical Poisson default (and serializes/slugs exactly as
     #: before the field existed).
     arrival: str | None = None
+    #: Scheduling policy pair: a grammar string naming a dispatch
+    #: and/or placement policy (``"round_robin"``, ``"best_fit"``,
+    #: ``"random?seed=7+no_swap"``) or a
+    #: :class:`~repro.sim.scheduling.SchedulerSpec`; ``None`` keeps the
+    #: paper's §7.1 pair (and serializes/slugs exactly as before the
+    #: field existed).
+    scheduler: str | None = None
     #: Overrides on DEFAULT_CALIBRATION, e.g. {"net_efficiency": 0.25}.
     calibration: tuple[tuple[str, float], ...] | None = None
     #: Optional human label; never affects resolution, equality or the
@@ -166,6 +178,18 @@ class Scenario:
             else:
                 arrival = arrival.strip()
             object.__setattr__(self, "arrival", arrival)
+        if self.scheduler is not None:
+            # Same tolerance again: keep unknown-policy strings
+            # verbatim so artifacts referencing a custom policy still
+            # load; running them raises at resolution.
+            scheduler = self.scheduler
+            if isinstance(scheduler, SchedulerSpec) \
+                    or not isinstance(scheduler, str) \
+                    or has_scheduler_policies(scheduler):
+                scheduler = canonical_scheduler(scheduler)
+            else:
+                scheduler = scheduler.strip()
+            object.__setattr__(self, "scheduler", scheduler)
 
     # -- derived views --------------------------------------------------------
 
@@ -190,20 +214,19 @@ class Scenario:
     def to_dict(self) -> dict:
         """A JSON-ready dict (calibration as a plain mapping).
 
-        ``step_mode`` and ``arrival`` are emitted only when set: a
-        defaulted scenario serializes exactly as it did before the
-        fields existed, so schema readers predating them still load
-        such artifacts (and slugs of pre-existing scenarios are
-        unchanged).
+        ``step_mode``, ``arrival`` and ``scheduler`` are emitted only
+        when set: a defaulted scenario serializes exactly as it did
+        before the fields existed, so schema readers predating them
+        still load such artifacts (and slugs of pre-existing scenarios
+        are unchanged).
         """
         out = dataclasses.asdict(self)
         out["methods"] = list(self.methods)
         out["calibration"] = (dict(self.calibration)
                               if self.calibration else None)
-        if out["step_mode"] is None:
-            del out["step_mode"]
-        if out["arrival"] is None:
-            del out["arrival"]
+        for optional in ("step_mode", "arrival", "scheduler"):
+            if out[optional] is None:
+                del out[optional]
         return out
 
     @classmethod
@@ -253,7 +276,8 @@ class Scenario:
                 f"methods={','.join(self.methods)}"]
         for fname in ("rps", "load_factor", "n_requests", "seed", "scale",
                       "n_prefill_replicas", "n_decode_replicas",
-                      "activation_overhead", "step_mode", "arrival"):
+                      "activation_overhead", "step_mode", "arrival",
+                      "scheduler"):
             value = getattr(self, fname)
             if value is not None and (fname != "scale" or value != 1.0):
                 bits.append(f"{fname}={value}")

@@ -46,6 +46,7 @@ from .experiments import (
     fig9_12_jct,
     fig13_ablation,
     fig14_scalability,
+    scheduling,
     sec3_fp_formats,
     slo_goodput,
     table5_memory,
@@ -54,6 +55,8 @@ from .experiments import (
 )
 from .methods import METHODS, method_families, split_method_list
 from .model.config import MODEL_LETTERS as MODEL_REGISTRY
+from .sim.scheduling import dispatch_policies, placement_policies, \
+    split_scheduler_list
 from .workload.arrivals import arrival_processes, split_arrival_list
 from .workload.datasets import DATASETS as DATASET_REGISTRY
 
@@ -114,6 +117,9 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     "slo": ExperimentSpec(
         "SLO goodput under bursty/diurnal arrival processes",
         lambda s, r: slo_goodput.run(scale=s, runner=r)),
+    "sched": ExperimentSpec(
+        "scheduling policies × arrivals on a mixed A10G+T4 fleet",
+        lambda s, r: scheduling.run(scale=s, runner=r)),
 }
 
 #: Dataset axis used by the default ``sweep`` grid (Fig. 9 style).
@@ -143,7 +149,10 @@ def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
                             "and/or specs like hack?pi=128,bits=4 "
                             "(see `list` for families and parameters)")
     group.add_argument("--dataset", default="cocktail")
-    group.add_argument("--prefill-gpu", default="A10G")
+    group.add_argument("--prefill-gpu", default="A10G",
+                       help="prefill GPU, or a heterogeneous fleet like "
+                            "A10G+T4 or A10G:2+T4:4 (per-fleet replica "
+                            "counts)")
     group.add_argument("--decode-gpu", default="A100")
     group.add_argument("--rps", type=float, default=None,
                        help="arrival rate; default derives from baseline "
@@ -166,6 +175,13 @@ def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
                             "constant, or a spec like "
                             "mmpp?burst=4,duty=0.1,dwell=20 "
                             "(see `list` for families and parameters)")
+    group.add_argument("--scheduler", default=None,
+                       metavar="POLICIES",
+                       help="dispatch/placement policy pair: a policy "
+                            "name (round_robin, best_fit, …), a pair "
+                            "like nic_aware+no_swap, or with parameters "
+                            "random?seed=7 (see `list`; default is the "
+                            "paper's splitwise+shortest_queue)")
     group.add_argument("--calib", action="append", default=[],
                        metavar="KEY=VALUE",
                        help="calibration override (repeatable)")
@@ -212,6 +228,7 @@ def _scenario_from_args(args, scale: float) -> Scenario:
         activation_overhead=args.activation_overhead,
         step_mode=args.step_mode,
         arrival=args.arrival,
+        scheduler=args.scheduler,
         calibration=calibration,
     )
 
@@ -230,6 +247,10 @@ def _parse_axis(spec: str) -> tuple[str, tuple]:
         # likewise for arrival specs: "poisson,mmpp?burst=4,duty=0.1"
         # is two axis values, not three.
         return field, tuple(split_arrival_list(raw))
+    if field == "scheduler":
+        # and for scheduler pairs: "splitwise,random?seed=3+no_swap"
+        # is two axis values.
+        return field, tuple(split_scheduler_list(raw))
     return field, tuple(_coerce(token) for token in raw.split(","))
 
 
@@ -454,6 +475,20 @@ def _cmd_list(args) -> int:
                               for p, pd in fam.params.items()}}
             for name, fam in arrival_processes().items()
         },
+        "dispatch_policies": {
+            name: {"description": cls.description,
+                   "signature": cls.signature(),
+                   "params": {p: pd.default
+                              for p, pd in cls.params.items()}}
+            for name, cls in dispatch_policies().items()
+        },
+        "placement_policies": {
+            name: {"description": cls.description,
+                   "signature": cls.signature(),
+                   "params": {p: pd.default
+                              for p, pd in cls.params.items()}}
+            for name, cls in placement_policies().items()
+        },
         "prefill_gpus": list(fig1_motivation.GPUS),
     }
     if args.json:
@@ -472,6 +507,14 @@ def _cmd_list(args) -> int:
     print("arrival processes (--arrival, same grammar — defaults shown):")
     for name, fam in arrival_processes().items():
         print(f"  {fam.signature():42s} {fam.description}")
+    print("scheduling policies (--scheduler dispatch[+placement], same "
+          "grammar):")
+    print(" dispatch:")
+    for name, cls in dispatch_policies().items():
+        print(f"  {cls.signature():42s} {cls.description}")
+    print(" placement:")
+    for name, cls in placement_policies().items():
+        print(f"  {cls.signature():42s} {cls.description}")
     return 0
 
 

@@ -7,8 +7,10 @@ from .instances import (
     DEFAULT_PREFILL_FLEETS,
     INSTANCES,
     InstanceSpec,
+    canonical_fleet,
     get_instance,
     instance_for_gpu,
+    parse_fleet_spec,
 )
 from .memory import MemoryBreakdown, MemoryModel
 from .network import NetworkModel, TransferResult
@@ -30,6 +32,8 @@ __all__ = [
     "DEFAULT_PREFILL_FLEETS",
     "DECODE_INSTANCE",
     "DEFAULT_DECODE_COUNT",
+    "parse_fleet_spec",
+    "canonical_fleet",
     "NetworkModel",
     "TransferResult",
     "MemoryModel",

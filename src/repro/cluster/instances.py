@@ -14,7 +14,8 @@ from dataclasses import dataclass
 from .gpu import GPUS, GPUSpec
 
 __all__ = ["InstanceSpec", "INSTANCES", "get_instance", "instance_for_gpu",
-           "DEFAULT_PREFILL_FLEETS", "DECODE_INSTANCE"]
+           "DEFAULT_PREFILL_FLEETS", "DECODE_INSTANCE", "parse_fleet_spec",
+           "canonical_fleet"]
 
 
 @dataclass(frozen=True)
@@ -83,3 +84,58 @@ def instance_for_gpu(gpu_name: str) -> InstanceSpec:
     if key not in _GPU_TO_INSTANCE:
         raise KeyError(f"no instance mapped for GPU {gpu_name!r}")
     return INSTANCES[_GPU_TO_INSTANCE[key]]
+
+
+def parse_fleet_spec(text: str) -> tuple[tuple[str, int | None], ...]:
+    """Parse a prefill-fleet reference into ``(gpu, replicas)`` pairs.
+
+    The grammar extends a plain GPU name to heterogeneous fleets::
+
+        A10G            # one fleet, §7.1 default replica count
+        A10G+T4         # two fleets, each at its default count
+        A10G:2+T4:4     # explicit per-fleet *replica* counts
+
+    GPU names uppercase; a count (after ``:``) must be a positive
+    integer; ``None`` means "derive from the paper's default instance
+    fleet".  Repeating a GPU type is rejected (merge the counts
+    instead).
+    """
+    fleets: list[tuple[str, int | None]] = []
+    seen: set[str] = set()
+    for part in text.strip().split("+"):
+        part = part.strip()
+        gpu, sep, count_text = part.partition(":")
+        gpu = gpu.strip().upper()
+        if not gpu:
+            raise ValueError(
+                f"bad fleet spec {text!r}; the grammar is "
+                "GPU[:replicas][+GPU[:replicas]…]"
+            )
+        if gpu in seen:
+            raise ValueError(
+                f"fleet spec {text!r} repeats GPU {gpu!r}; merge the "
+                "replica counts instead"
+            )
+        seen.add(gpu)
+        count: int | None = None
+        if sep:
+            try:
+                count = int(count_text.strip())
+            except ValueError:
+                raise ValueError(
+                    f"bad replica count {count_text.strip()!r} for GPU "
+                    f"{gpu!r} in fleet spec {text!r}"
+                ) from None
+            if count < 1:
+                raise ValueError(
+                    f"fleet replica count must be >= 1, got {count} for "
+                    f"GPU {gpu!r}"
+                )
+        fleets.append((gpu, count))
+    return tuple(fleets)
+
+
+def canonical_fleet(fleets: tuple[tuple[str, int], ...]) -> str:
+    """The canonical string of resolved ``(gpu, replicas)`` fleets,
+    e.g. ``"A10G:5+T4:4"``."""
+    return "+".join(f"{gpu}:{count}" for gpu, count in fleets)

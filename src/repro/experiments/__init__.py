@@ -6,6 +6,7 @@ from . import (
     fig9_12_jct,
     fig13_ablation,
     fig14_scalability,
+    scheduling,
     sec3_fp_formats,
     slo_goodput,
     table5_memory,
@@ -19,6 +20,7 @@ __all__ = [
     "fig9_12_jct",
     "fig13_ablation",
     "fig14_scalability",
+    "scheduling",
     "sec3_fp_formats",
     "slo_goodput",
     "table5_memory",

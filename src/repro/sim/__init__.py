@@ -9,6 +9,19 @@ from .engine import (
     simulate,
 )
 from .request import BUCKETS, SimRequest
+from .scheduling import (
+    DecodePlacementPolicy,
+    PolicySpec,
+    PrefillDispatchPolicy,
+    SchedulerSpec,
+    canonical_scheduler,
+    dispatch_policies,
+    parse_scheduler,
+    placement_policies,
+    register_policy,
+    scheduler_spec,
+    split_scheduler_list,
+)
 
 __all__ = [
     "ClusterConfig",
@@ -21,4 +34,15 @@ __all__ = [
     "capacity_rps",
     "experiment_rps",
     "stage_capacities",
+    "PrefillDispatchPolicy",
+    "DecodePlacementPolicy",
+    "PolicySpec",
+    "SchedulerSpec",
+    "register_policy",
+    "dispatch_policies",
+    "placement_policies",
+    "parse_scheduler",
+    "scheduler_spec",
+    "canonical_scheduler",
+    "split_scheduler_list",
 ]

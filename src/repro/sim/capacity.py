@@ -9,6 +9,7 @@ service rates for the given workload.
 
 from __future__ import annotations
 
+from ..cluster.parallelism import replica_resources
 from ..methods.registry import get_method
 from ..model.config import ModelSpec
 from ..perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
@@ -18,7 +19,25 @@ from ..perfmodel.transfer import transfer_time
 from ..workload.datasets import DatasetSpec, get_dataset
 from .engine import ClusterConfig, default_cluster
 
-__all__ = ["stage_capacities", "capacity_rps", "experiment_rps"]
+__all__ = ["stage_capacities", "capacity_rps", "experiment_rps",
+           "clipped_mean_lengths"]
+
+
+def clipped_mean_lengths(dataset: DatasetSpec, max_context: int,
+                         ) -> tuple[int, int]:
+    """Mean (input, output) lengths under the model's context window.
+
+    Mirrors the clipping :func:`repro.workload.generate_trace` applies
+    per request: outputs are truncated to ``max_context - 1`` first,
+    then inputs so ``input + output <= max_context``.  Capacity used to
+    cap inputs at ``max_context - 1`` alone, sizing the cluster for
+    requests longer than the trace actually replays on context-limited
+    models (Falcon's 2K window on arXiv) and skewing
+    :func:`experiment_rps`.
+    """
+    mean_out = int(round(min(dataset.output_len.mean, max_context - 1)))
+    mean_in = int(round(min(dataset.input_len.mean, max_context - mean_out)))
+    return max(1, mean_in), max(1, mean_out)
 
 
 def stage_capacities(config: ClusterConfig, dataset: DatasetSpec,
@@ -28,31 +47,36 @@ def stage_capacities(config: ClusterConfig, dataset: DatasetSpec,
     Prefill: one request at a time per replica at the mean prompt
     length.  NIC: each prefill replica's NIC serializes its outgoing KV
     transfers.  Decode: each replica runs a memory-capped batch; its
-    rate is ``batch / (output_len · iteration_latency)``.
+    rate is ``batch / (output_len · iteration_latency)``.  Prefill and
+    NIC rates sum over the (possibly heterogeneous) prefill fleets.
     """
     spec = config.model
     calib = config.calib
-    mean_in = int(round(min(dataset.input_len.mean, spec.max_context - 1)))
-    mean_out = int(round(dataset.output_len.mean))
+    mean_in, mean_out = clipped_mean_lengths(dataset, spec.max_context)
 
-    pre = config.prefill_replica()
+    dec = config.decode_replica()
     # Batched prefill: short prompts share a forward pass up to the
     # token budget; the pass pays the joint linear time plus each
     # request's own quadratic attention.
     per_batch = max(1, config.prefill_token_budget // mean_in)
-    own = prefill_time(spec, pre, mean_in, config.method, calib)
-    joint = prefill_time(spec, pre, per_batch * mean_in, config.method, calib)
-    batch_s = joint.linear_s + joint.quantize_s + per_batch * own.attention_s
-    prefill_rps = config.n_prefill_replicas * per_batch / batch_s
-
-    dec = config.decode_replica()
-    # NIC occupancy is the *full* transfer time even under pipelining —
-    # overlap hides latency from the request, not load from the NIC —
-    # so the capacity bound deliberately never passes ``pipelined=True``
-    # (it forwards the engine's stage count only for signature parity).
-    comm_s = transfer_time(spec, config.method, mean_in, pre, dec, calib,
-                           n_stages=config.pipeline_stages)
-    nic_rps = config.n_prefill_replicas / comm_s
+    prefill_rps = 0.0
+    nic_rps = 0.0
+    for gpu, count in config.fleet_list():
+        pre = replica_resources(spec, gpu)
+        own = prefill_time(spec, pre, mean_in, config.method, calib)
+        joint = prefill_time(spec, pre, per_batch * mean_in, config.method,
+                             calib)
+        batch_s = (joint.linear_s + joint.quantize_s
+                   + per_batch * own.attention_s)
+        prefill_rps += count * per_batch / batch_s
+        # NIC occupancy is the *full* transfer time even under
+        # pipelining — overlap hides latency from the request, not load
+        # from the NIC — so the capacity bound deliberately never
+        # passes ``pipelined=True`` (it forwards the engine's stage
+        # count only for signature parity).
+        comm_s = transfer_time(spec, config.method, mean_in, pre, dec, calib,
+                               n_stages=config.pipeline_stages)
+        nic_rps += count / comm_s
     params = spec.param_bytes()
     capacity = (dec.mem_gb * 1e9 * (1 - config.mem_reserve_fraction)
                 - params * (1 + config.activation_overhead))

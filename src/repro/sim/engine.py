@@ -1,15 +1,23 @@
 """Discrete-event simulator of disaggregated LLM serving (§7.1 setup).
 
-Faithfully implements the paper's serving policy:
+Faithfully implements the paper's serving policy (by default — both
+scheduling decisions are pluggable, see :mod:`repro.sim.scheduling`):
 
-* requests arrive (Poisson trace) and are dispatched to the prefill
-  replica with the shortest queue in tokens [SplitWise];
+* requests arrive (Poisson trace) and are dispatched to a prefill
+  replica by the configured :class:`~repro.sim.scheduling
+  .PrefillDispatchPolicy` — default: shortest queue in tokens
+  [SplitWise].  Prefill fleets may be *heterogeneous* (mixed GPU types
+  with per-fleet replica counts, ``ClusterConfig.prefill_fleets``), in
+  which case each replica prefills and transfers at its own fleet's
+  speed;
 * a prefill replica serves one request at a time (long-prompt prefill
   saturates the replica's compute);
-* finished KV is shipped to the decode replica with the shortest queue
-  *that has enough free memory for the request's full context*; when no
-  replica has room, the KV is swapped to prefill CPU memory [DéjàVu]
-  and transferred once memory frees (§5.1 step 6) — each prefill
+* finished KV is shipped to the decode replica chosen by the configured
+  :class:`~repro.sim.scheduling.DecodePlacementPolicy` — default: the
+  shortest queue *that has enough free memory for the request's full
+  context*; when no replica has room, the KV is swapped to prefill CPU
+  memory [DéjàVu] and transferred once memory frees (§5.1 step 6) — or
+  rejected outright under a ``no_swap`` placement — each prefill
   replica's NIC serializes its outgoing transfers;
 * decode replicas run continuous batching: each iteration produces one
   token per active request, with latency from
@@ -46,7 +54,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cluster.instances import DEFAULT_DECODE_COUNT, DEFAULT_PREFILL_FLEETS, \
-    instance_for_gpu
+    canonical_fleet, instance_for_gpu, parse_fleet_spec
 from ..cluster.parallelism import ReplicaResources, replica_resources
 from ..methods.base import Method
 from ..model.config import ModelSpec
@@ -56,7 +64,8 @@ from ..perfmodel.prefill import prefill_time
 from ..perfmodel.transfer import DEFAULT_PIPELINE_STAGES, kv_wire_bytes, \
     make_network_model
 from ..workload.traces import TraceRequest
-from .request import SimRequest, nearest_rank
+from .request import BUCKETS, SimRequest, nearest_rank
+from .scheduling import SchedulerSpec, scheduler_spec
 
 __all__ = ["ClusterConfig", "SimulationResult", "Simulator", "simulate",
            "default_cluster", "DEFAULT_TTFT_SLO_S", "DEFAULT_TBT_SLO_S"]
@@ -105,6 +114,15 @@ class ClusterConfig:
     #: (closed-form latency sums); ``"token"`` is the legacy
     #: one-event-per-token path kept for differential testing.
     step_mode: str = "span"
+    #: Heterogeneous prefill fleets as resolved ``(gpu, replicas)``
+    #: pairs; ``None`` means one homogeneous fleet of
+    #: ``n_prefill_replicas`` × ``prefill_gpu`` (the historical,
+    #: paper-faithful shape).  When set, ``n_prefill_replicas`` must
+    #: equal the summed per-fleet counts.
+    prefill_fleets: tuple[tuple[str, int], ...] | None = None
+    #: Dispatch/placement policy pair; ``None`` keeps the paper's
+    #: §7.1 pair (``splitwise`` + ``shortest_queue``).
+    scheduler: SchedulerSpec | None = None
 
     def __post_init__(self) -> None:
         if self.step_mode not in ("span", "token"):
@@ -112,12 +130,63 @@ class ClusterConfig:
                 f"step_mode must be 'span' or 'token', got "
                 f"{self.step_mode!r}"
             )
+        if self.scheduler is not None \
+                and not isinstance(self.scheduler, SchedulerSpec):
+            # Accept the grammar string every adjacent API takes
+            # (fails fast on bad policies instead of at Simulator
+            # construction).
+            object.__setattr__(self, "scheduler",
+                               scheduler_spec(self.scheduler))
+        if self.prefill_fleets is not None:
+            if not self.prefill_fleets:
+                raise ValueError("prefill_fleets must name >= 1 fleet")
+            for gpu, count in self.prefill_fleets:
+                if count < 1:
+                    raise ValueError(
+                        f"fleet replica count must be >= 1, got {count} "
+                        f"for GPU {gpu!r}"
+                    )
+            total = sum(count for _, count in self.prefill_fleets)
+            if total != self.n_prefill_replicas:
+                raise ValueError(
+                    f"n_prefill_replicas={self.n_prefill_replicas} does "
+                    f"not match the summed fleet counts ({total}); "
+                    "replica-count overrides do not compose with an "
+                    "explicit heterogeneous fleet"
+                )
+
+    def fleet_list(self) -> tuple[tuple[str, int], ...]:
+        """Resolved prefill fleets: ``(gpu, replicas)`` per fleet."""
+        if self.prefill_fleets is not None:
+            return self.prefill_fleets
+        return ((self.prefill_gpu, self.n_prefill_replicas),)
 
     def prefill_replica(self) -> ReplicaResources:
+        """Resources of one prefill replica.
+
+        Only meaningful for a homogeneous fleet; a heterogeneous config
+        has no single answer, so this raises — resolve per fleet via
+        :meth:`fleet_list` + :func:`repro.cluster.replica_resources`
+        instead (as the engine and capacity model do).
+        """
+        if self.prefill_fleets is not None:
+            raise ValueError(
+                "prefill_replica() is ambiguous for a heterogeneous "
+                f"fleet ({self.prefill_gpu}); resolve per fleet via "
+                "fleet_list()"
+            )
         return replica_resources(self.model, self.prefill_gpu)
 
     def decode_replica(self) -> ReplicaResources:
         return replica_resources(self.model, self.decode_gpu)
+
+
+def _default_fleet_replicas(model: ModelSpec, gpu: str) -> int:
+    """§7.1 replica count of ``gpu``'s default instance fleet."""
+    n_instances = DEFAULT_PREFILL_FLEETS[gpu]
+    pre = replica_resources(model, gpu)
+    inst = instance_for_gpu(gpu)
+    return max(1, n_instances * inst.n_gpus // pre.parallelism.n_gpus)
 
 
 def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
@@ -128,6 +197,7 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
                     decode_gpu: str = "A100",
                     activation_overhead: float | None = None,
                     step_mode: str | None = None,
+                    scheduler=None,
                     ) -> ClusterConfig:
     """The paper's §7.1 deployment for ``model`` on ``prefill_gpu``.
 
@@ -136,15 +206,36 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
     p4de.24xlarge for decode.  ``decode_gpu`` swaps the decode fleet's
     GPU (default A100, the paper's setup); ``activation_overhead=None``
     keeps the :class:`ClusterConfig` default.
+
+    ``prefill_gpu`` accepts the heterogeneous-fleet grammar of
+    :func:`repro.cluster.parse_fleet_spec` — ``"A10G+T4"`` (each fleet
+    at its §7.1 default replica count) or ``"A10G:2+T4:4"`` (explicit
+    per-fleet replica counts).  ``n_prefill_instances`` only applies to
+    a single plain-GPU fleet.  ``scheduler`` is a
+    :class:`~repro.sim.scheduling.SchedulerSpec` or grammar string
+    (``"round_robin+best_fit"``); ``None`` keeps the paper's pair.
     """
-    gpu = prefill_gpu.upper()
+    fleets = parse_fleet_spec(prefill_gpu)
     dec_gpu = decode_gpu.upper()
-    if n_prefill_instances is None:
-        n_prefill_instances = DEFAULT_PREFILL_FLEETS[gpu]
-    pre = replica_resources(model, gpu)
-    inst = instance_for_gpu(gpu)
-    n_prefill = max(1, n_prefill_instances * inst.n_gpus
-                    // pre.parallelism.n_gpus)
+    if n_prefill_instances is not None and (
+        len(fleets) > 1 or fleets[0][1] is not None
+    ):
+        raise ValueError(
+            "n_prefill_instances only applies to a single plain-GPU "
+            f"fleet, not {prefill_gpu!r}; give per-fleet replica counts "
+            "as GPU:replicas instead"
+        )
+    resolved: list[tuple[str, int]] = []
+    for gpu, count in fleets:
+        if count is None:
+            if n_prefill_instances is not None:
+                pre = replica_resources(model, gpu)
+                inst = instance_for_gpu(gpu)
+                count = max(1, n_prefill_instances * inst.n_gpus
+                            // pre.parallelism.n_gpus)
+            else:
+                count = _default_fleet_replicas(model, gpu)
+        resolved.append((gpu, count))
     dec = replica_resources(model, dec_gpu)
     dec_inst = instance_for_gpu(dec_gpu)
     n_decode = max(1, n_decode_instances * dec_inst.n_gpus
@@ -154,7 +245,15 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
     }
     if step_mode is not None:
         extra["step_mode"] = step_mode
-    return ClusterConfig(model=model, method=method, prefill_gpu=gpu,
+    if scheduler is not None:
+        extra["scheduler"] = scheduler_spec(scheduler)
+    if len(resolved) > 1:
+        extra["prefill_fleets"] = tuple(resolved)
+        gpu_label = canonical_fleet(tuple(resolved))
+    else:
+        gpu_label = resolved[0][0]
+    n_prefill = sum(count for _, count in resolved)
+    return ClusterConfig(model=model, method=method, prefill_gpu=gpu_label,
                          n_prefill_replicas=n_prefill,
                          n_decode_replicas=n_decode, calib=calib,
                          pipelining=pipelining, decode_gpu=dec_gpu,
@@ -163,6 +262,11 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
 
 @dataclass
 class _PrefillReplica:
+    #: GPU type and per-replica resources — these differ across fleets
+    #: under heterogeneous prefill (``ClusterConfig.prefill_fleets``)
+    #: and are what dispatch policies exploit.
+    gpu: str = ""
+    res: ReplicaResources | None = None
     queue: deque = field(default_factory=deque)
     queued_tokens: int = 0
     current: SimRequest | None = None
@@ -196,15 +300,25 @@ class _DecodeReplica:
 
 @dataclass
 class SimulationResult:
-    """Finished requests plus cluster-level statistics."""
+    """Finished requests plus cluster-level statistics.
+
+    ``requests`` may be empty (a ``no_swap`` placement can reject every
+    request of a trace); all aggregates degrade to empty/zero values
+    rather than raising, so summaries stay JSON-serializable.
+    """
 
     requests: list[SimRequest]
     peak_memory_fraction: float
     n_swapped: int
     config: ClusterConfig
+    #: Requests refused admission by a non-swapping placement policy
+    #: (they prefill but never decode and are absent from ``requests``).
+    n_rejected: int = 0
 
     def avg_jct(self) -> float:
         """Mean job completion time across all requests (Fig. 9 metric)."""
+        if not self.requests:
+            return 0.0
         return sum(r.jct for r in self.requests) / len(self.requests)
 
     def generated_tokens(self) -> int:
@@ -213,13 +327,20 @@ class SimulationResult:
         return sum(r.tokens_generated for r in self.requests)
 
     def mean_decomposition(self) -> dict[str, float]:
-        """Mean seconds per bucket (Fig. 10 bars)."""
+        """Mean seconds per bucket (Fig. 10 bars); all-zero when no
+        request finished."""
+        if not self.requests:
+            return {k: 0.0 for k in BUCKETS}
         decomps = [r.decomposition() for r in self.requests]
         n = len(decomps)
         return {k: sum(d[k] for d in decomps) / n for k in decomps[0]}
 
     def mean_ratios(self, include_queue: bool = False) -> dict[str, float]:
         """Mean per-request bucket ratios (the Fig. 1–4 metric)."""
+        if not self.requests:
+            keys = BUCKETS if include_queue else \
+                tuple(k for k in BUCKETS if k != "queue")
+            return {k: 0.0 for k in keys}
         ratio_dicts = [r.ratios(include_queue) for r in self.requests]
         keys = ratio_dicts[0].keys()
         n = len(ratio_dicts)
@@ -227,6 +348,8 @@ class SimulationResult:
 
     def mean_kv_access_ratio(self) -> float:
         """KV HBM read time as a fraction of JCT (§2.1's 16–33% metric)."""
+        if not self.requests:
+            return 0.0
         return sum(r.kv_access_s / r.jct for r in self.requests) / len(
             self.requests
         )
@@ -263,12 +386,16 @@ class SimulationResult:
 
     def mean_normalized_latency(self) -> float:
         """Mean JCT per output token (DistServe's normalized latency)."""
+        if not self.requests:
+            return 0.0
         return sum(r.normalized_latency for r in self.requests) / len(
             self.requests
         )
 
     def makespan_s(self) -> float:
-        """First arrival → last completion."""
+        """First arrival → last completion (0 when nothing finished)."""
+        if not self.requests:
+            return 0.0
         return (max(r.finish for r in self.requests)
                 - min(r.arrival for r in self.requests))
 
@@ -281,6 +408,8 @@ class SimulationResult:
         KVServe/DistServe-style joint criterion; single-token requests
         have no gaps and attain on TTFT alone).
         """
+        if not self.requests:
+            return 0.0
         met = sum(1 for r in self.requests
                   if r.ttft <= ttft_slo_s
                   and r.tbt_percentile(99) <= tbt_slo_s)
@@ -292,9 +421,14 @@ class SimulationResult:
         return self._goodput(self.slo_attainment(ttft_slo_s, tbt_slo_s))
 
     def _goodput(self, attainment: float) -> float:
+        # A zero-width makespan (degenerate single-instant run, or no
+        # finished requests at all) is zero goodput, not infinite: a
+        # float("inf") here used to leak non-compliant ``Infinity``
+        # tokens into artifact JSON via json.dump.
         span = self.makespan_s()
-        attained = attainment * len(self.requests)
-        return attained / span if span > 0 else float("inf")
+        if span <= 0:
+            return 0.0
+        return attainment * len(self.requests) / span
 
     def to_records(self) -> list[dict]:
         """Per-request JSON-ready records (artifact schema v2)."""
@@ -314,15 +448,16 @@ class SimulationResult:
         attainment = self.slo_attainment(ttft_slo_s, tbt_slo_s)
         return {
             "n_requests": len(jcts),
-            "avg_jct_s": sum(jcts) / len(jcts),
+            "avg_jct_s": self.avg_jct(),
             "p50_jct_s": self._nearest_rank(jcts, 50),
             "p95_jct_s": self._nearest_rank(jcts, 95),
             "p99_jct_s": self._nearest_rank(jcts, 99),
-            "max_jct_s": jcts[-1],
+            "max_jct_s": jcts[-1] if jcts else 0.0,
             "mean_decomposition_s": self.mean_decomposition(),
             "peak_memory_fraction": self.peak_memory_fraction,
             "n_swapped": self.n_swapped,
-            "mean_ttft_s": sum(ttfts) / len(ttfts),
+            "n_rejected": self.n_rejected,
+            "mean_ttft_s": sum(ttfts) / len(ttfts) if ttfts else 0.0,
             "p50_ttft_s": self._nearest_rank(ttfts, 50),
             "p95_ttft_s": self._nearest_rank(ttfts, 95),
             "p99_ttft_s": self._nearest_rank(ttfts, 99),
@@ -356,7 +491,6 @@ class Simulator:
         self.calib = config.calib
         self.spec = config.model
         self.method = config.method
-        self.pre_res = config.prefill_replica()
         self.dec_res = config.decode_replica()
         self.net = make_network_model(self.calib)
         self.step_mode = config.step_mode
@@ -365,8 +499,11 @@ class Simulator:
 
         self._events: list = []
         self._seq = itertools.count()
-        self._prefill = [_PrefillReplica()
-                         for _ in range(config.n_prefill_replicas)]
+        self._prefill = []
+        for gpu, count in config.fleet_list():
+            res = replica_resources(self.spec, gpu)
+            self._prefill.extend(_PrefillReplica(gpu=gpu, res=res)
+                                 for _ in range(count))
         params = self.spec.param_bytes()
         base = params * (1.0 + config.activation_overhead)
         capacity = (self.dec_res.mem_gb * _GB
@@ -381,7 +518,14 @@ class Simulator:
         ]
         self._pending_swap: deque = deque()
         self._finished: list[SimRequest] = []
+        self._rejected: list[SimRequest] = []
         self._n_swapped = 0
+
+        sched = config.scheduler or SchedulerSpec()
+        self.dispatch = sched.build_dispatch()
+        self.placement = sched.build_placement()
+        self.dispatch.bind(self)
+        self.placement.bind(self)
 
     # -- public API ----------------------------------------------------------
 
@@ -400,21 +544,18 @@ class Simulator:
         return SimulationResult(requests=self._finished,
                                 peak_memory_fraction=peak,
                                 n_swapped=self._n_swapped,
-                                config=self.config)
+                                config=self.config,
+                                n_rejected=len(self._rejected))
 
     # -- event handlers --------------------------------------------------------
 
     def _on_arrival(self, now: float, req: SimRequest) -> None:
-        # Shortest queue in tokens (the SplitWise policy); ties broken
-        # by NIC backlog, then by assignment count, so idle replicas
-        # share load instead of everything funnelling to replica 0.
-        def load(i: int):
-            replica = self._prefill[i]
-            return (replica.queued_tokens,
-                    max(0.0, replica.nic_free_at - now),
-                    replica.assigned)
-
-        idx = min(range(len(self._prefill)), key=load)
+        idx = self.dispatch.choose(now, req, self._prefill)
+        if not 0 <= idx < len(self._prefill):
+            raise ValueError(
+                f"dispatch policy {self.dispatch.name!r} chose replica "
+                f"{idx} of {len(self._prefill)}"
+            )
         replica = self._prefill[idx]
         req.prefill_replica = idx
         replica.queued_tokens += req.trace.input_len
@@ -444,10 +585,10 @@ class Simulator:
             total_tokens += nxt.trace.input_len
 
         replica.current = batch
-        joint = prefill_time(self.spec, self.pre_res, total_tokens,
+        joint = prefill_time(self.spec, replica.res, total_tokens,
                              self.method, self.calib)
         per_request = [
-            prefill_time(self.spec, self.pre_res, req.trace.input_len,
+            prefill_time(self.spec, replica.res, req.trace.input_len,
                          self.method, self.calib)
             for req in batch
         ]
@@ -473,19 +614,46 @@ class Simulator:
         for req in batch:
             self._dispatch_to_decode(now, req)
 
+    def _choose_placement(self, now: float, req: SimRequest,
+                          reserve: float) -> int | None:
+        """Run the placement policy and validate its answer: the chosen
+        replica must exist and actually have room (a policy returning a
+        sentinel like -1, or ignoring ``reserve``, would otherwise
+        silently over-commit memory via negative indexing)."""
+        target = self.placement.choose(now, req, self._decode, reserve)
+        if target is None:
+            return None
+        if not 0 <= target < len(self._decode):
+            raise ValueError(
+                f"placement policy {self.placement.name!r} chose replica "
+                f"{target} of {len(self._decode)} (return None when no "
+                "replica fits)"
+            )
+        if self._decode[target].free_bytes() < reserve:
+            raise ValueError(
+                f"placement policy {self.placement.name!r} chose replica "
+                f"{target} without room for the request "
+                f"({self._decode[target].free_bytes():.0f} bytes free, "
+                f"{reserve:.0f} needed)"
+            )
+        return target
+
     def _dispatch_to_decode(self, now: float, req: SimRequest) -> None:
         reserve = self._request_bytes(req)
-        candidates = [i for i, d in enumerate(self._decode)
-                      if d.free_bytes() >= reserve]
-        if not candidates:
-            # §5.1 step 6: stage the quantized KV in prefill CPU memory.
-            req.swapped = True
-            self._n_swapped += 1
-            self._pending_swap.append(req)
+        target = self._choose_placement(now, req, reserve)
+        if target is None:
+            if self.placement.swap_on_full:
+                # §5.1 step 6: stage the quantized KV in prefill CPU
+                # memory until a decode replica frees enough room.
+                req.swapped = True
+                self._n_swapped += 1
+                self._pending_swap.append(req)
+            else:
+                # Admission control (no_swap placement): the request is
+                # dropped after prefill and never reaches decode.
+                req.rejected = True
+                self._rejected.append(req)
             return
-        target = min(candidates,
-                     key=lambda i: (self._decode[i].queued_tokens,
-                                    self._decode[i].assigned))
         self._begin_transfer(now, req, target)
 
     def _begin_transfer(self, now: float, req: SimRequest, target: int) -> None:
@@ -505,13 +673,13 @@ class Simulator:
         # delay: it accrues to the comm bucket (this is what makes the
         # comm ratio climb with RPS in Fig. 1(d)).
         nic_wait = start - now
-        full = self.net.transfer_time(nbytes, self.pre_res.network_gbps,
+        full = self.net.transfer_time(nbytes, nic.res.network_gbps,
                                       self.dec_res.network_gbps,
                                       via_cpu=req.swapped).seconds
         nic.nic_free_at = start + full
         if self.config.pipelining and not req.swapped:
             exposed = self.net.pipelined_exposed_time(
-                nbytes, self.pre_res.network_gbps, self.dec_res.network_gbps,
+                nbytes, nic.res.network_gbps, self.dec_res.network_gbps,
                 compute_s=req.prefill_s,
                 n_stages=self.config.pipeline_stages,
             )
@@ -699,12 +867,8 @@ class Simulator:
         while self._pending_swap:
             req = self._pending_swap.popleft()
             reserve = self._request_bytes(req)
-            candidates = [i for i, d in enumerate(self._decode)
-                          if d.free_bytes() >= reserve]
-            if candidates:
-                target = min(candidates,
-                             key=lambda i: (self._decode[i].queued_tokens,
-                                            self._decode[i].assigned))
+            target = self._choose_placement(now, req, reserve)
+            if target is not None:
                 self._begin_transfer(now, req, target)
             else:
                 still_waiting.append(req)

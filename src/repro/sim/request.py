@@ -66,6 +66,9 @@ class SimRequest:
 
     #: Whether the KV took the CPU-swap detour (§5.1 step 6).
     swapped: bool = False
+    #: Whether a non-swapping placement policy refused admission (the
+    #: request prefilled but never decoded; it carries no completion).
+    rejected: bool = False
     tokens_generated: int = 0
     #: Decode-memory bytes reserved for this request.
     reserved_bytes: float = 0.0

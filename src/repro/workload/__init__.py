@@ -22,7 +22,8 @@ from .datasets import (
     SHORT_SEQUENCE_DATASETS,
     get_dataset,
 )
-from .traces import TraceRequest, capped_trace, generate_trace, merge_traces
+from .traces import Trace, TraceRequest, capped_trace, generate_trace, \
+    merge_traces
 
 __all__ = [
     "DATASETS",
@@ -32,6 +33,7 @@ __all__ = [
     "SHORT_SEQUENCE_DATASETS",
     "get_dataset",
     "TraceRequest",
+    "Trace",
     "generate_trace",
     "capped_trace",
     "merge_traces",

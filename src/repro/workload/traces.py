@@ -18,7 +18,8 @@ import numpy as np
 from .arrivals import ArrivalSpec, arrival_spec
 from .datasets import DatasetSpec, get_dataset
 
-__all__ = ["TraceRequest", "generate_trace", "capped_trace", "merge_traces"]
+__all__ = ["TraceRequest", "Trace", "generate_trace", "capped_trace",
+           "merge_traces"]
 
 
 @dataclass(frozen=True)
@@ -35,6 +36,28 @@ class TraceRequest:
         return self.input_len + self.output_len
 
 
+class Trace(list):
+    """A list of :class:`TraceRequest` plus clipping metadata.
+
+    Behaves exactly like the plain list :func:`generate_trace` used to
+    return, with two extra counters recording how many requests the
+    ``max_context`` cap reshaped — so experiments on context-limited
+    models (Falcon-2K on arXiv) can report how far the replayed lengths
+    drifted from the dataset's published distribution.
+    """
+
+    #: Requests whose sampled input length was shortened.
+    n_input_clipped: int = 0
+    #: Requests whose sampled output length was truncated.
+    n_output_clipped: int = 0
+
+    def __init__(self, requests=(), n_input_clipped: int = 0,
+                 n_output_clipped: int = 0) -> None:
+        super().__init__(requests)
+        self.n_input_clipped = n_input_clipped
+        self.n_output_clipped = n_output_clipped
+
+
 def generate_trace(
     dataset: str | DatasetSpec,
     rps: float,
@@ -42,7 +65,7 @@ def generate_trace(
     seed: int = 0,
     max_context: int | None = None,
     arrival: str | ArrivalSpec = "poisson",
-) -> list[TraceRequest]:
+) -> Trace:
     """Sample a trace of ``n_requests`` from ``dataset``.
 
     Parameters
@@ -56,10 +79,15 @@ def generate_trace(
     seed:
         Randomness seed; traces are fully deterministic given it.
     max_context:
-        Optional model context cap: input lengths are clipped so
-        ``input + output <= max_context`` (how the paper runs Falcon's
-        2K window on the arXiv dataset).  Must be >= 2 — one input and
-        one output token are the smallest expressible request.
+        Optional model context cap (how the paper runs Falcon's 2K
+        window on the arXiv dataset): output lengths are truncated to
+        ``max_context - 1`` first — which silently reshapes the
+        output-length distribution, not just the inputs — then input
+        lengths are clipped so ``input + output <= max_context``.  The
+        returned :class:`Trace` records both counts
+        (``n_input_clipped`` / ``n_output_clipped``).  Must be >= 2 —
+        one input and one output token are the smallest expressible
+        request.
     arrival:
         Arrival process: a grammar string (``"poisson"``,
         ``"mmpp?burst=4,duty=0.1"``, …) or an
@@ -81,30 +109,38 @@ def generate_trace(
     rng = np.random.default_rng(seed)
     arrivals = process.sample(rng, rps, n_requests)
     in_lens, out_lens = spec.sample_request_lengths(n_requests, rng)
+    n_in_clipped = n_out_clipped = 0
     if max_context is not None:
+        raw_out = out_lens
         out_lens = np.minimum(out_lens, max_context - 1)
+        n_out_clipped = int(np.count_nonzero(raw_out > out_lens))
+        raw_in = in_lens
         in_lens = np.minimum(in_lens, max_context - out_lens)
-    return [
-        TraceRequest(request_id=i, arrival_s=float(arrivals[i]),
-                     input_len=int(in_lens[i]), output_len=int(out_lens[i]))
-        for i in range(n_requests)
-    ]
+        n_in_clipped = int(np.count_nonzero(raw_in > in_lens))
+    return Trace(
+        (TraceRequest(request_id=i, arrival_s=float(arrivals[i]),
+                      input_len=int(in_lens[i]), output_len=int(out_lens[i]))
+         for i in range(n_requests)),
+        n_input_clipped=n_in_clipped,
+        n_output_clipped=n_out_clipped,
+    )
 
 
 def capped_trace(dataset: str | DatasetSpec, rps: float, n_requests: int,
-                 model_max_context: int, seed: int = 0) -> list[TraceRequest]:
+                 model_max_context: int, seed: int = 0) -> Trace:
     """Convenience wrapper: trace clipped to a model's context window."""
     return generate_trace(dataset, rps, n_requests, seed=seed,
                           max_context=model_max_context)
 
 
-def merge_traces(*traces: list[TraceRequest]) -> list[TraceRequest]:
+def merge_traces(*traces: list[TraceRequest]) -> Trace:
     """Interleave several traces into one multi-tenant trace.
 
     Requests are merged by arrival time (ties keep the input order,
     tenant-by-tenant) and renumbered ``0..n-1`` so the result is a
-    valid simulator trace.  Each tenant's trace is typically generated
-    from a different dataset and/or arrival process::
+    valid simulator trace; clip counts sum over the tenants that carry
+    them.  Each tenant's trace is typically generated from a different
+    dataset and/or arrival process::
 
         merge_traces(
             generate_trace("cocktail", 0.5, 60, seed=1),
@@ -115,5 +151,11 @@ def merge_traces(*traces: list[TraceRequest]) -> list[TraceRequest]:
         raise ValueError("merge_traces needs at least one trace")
     merged = sorted((r for trace in traces for r in trace),
                     key=lambda r: r.arrival_s)
-    return [dataclasses.replace(r, request_id=i)
-            for i, r in enumerate(merged)]
+    return Trace(
+        (dataclasses.replace(r, request_id=i)
+         for i, r in enumerate(merged)),
+        n_input_clipped=sum(getattr(t, "n_input_clipped", 0)
+                            for t in traces),
+        n_output_clipped=sum(getattr(t, "n_output_clipped", 0)
+                             for t in traces),
+    )
