@@ -29,10 +29,14 @@ __all__ = ["RunArtifact", "MethodRun", "SCHEMA_NAME", "SCHEMA_VERSION",
 
 SCHEMA_NAME = "hack-repro/run-artifact"
 #: Version written by this build.  v2 added TTFT/TBT/SLO serving
-#: metrics to summaries and per-request records; v1 files still load
-#: (their summaries simply lack the v2 keys).
-SCHEMA_VERSION = 2
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: metrics to summaries and per-request records; v3 adds the top-level
+#: ``trace`` block (max-context clip counts) and — only on runs that
+#: configure them — the ``kvstore``/``selection_mix`` summary sections
+#: and per-request ``method_selected``/``prefix_hit_tokens``/
+#: ``cache_read_s``/``cache_tier`` keys.  v1/v2 files still load (their
+#: summaries simply lack the newer keys).
+SCHEMA_VERSION = 3
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: Scalar summary keys surfaced by ``summary_table`` (the compact view).
 #: v2 keys render as "-" for v1 artifacts that predate them.
@@ -92,22 +96,31 @@ class RunArtifact:
     #: never serialized, so artifact JSON stays byte-deterministic.
     perf: dict[str, dict] | None = field(
         default=None, repr=False, compare=False)
+    #: Trace metadata (schema v3): ``n_input_clipped``/
+    #: ``n_output_clipped`` — how many requests the model's context cap
+    #: reshaped.  ``None`` on artifacts predating v3.
+    trace: dict | None = None
 
     @classmethod
     def from_results(cls, scenario: Scenario,
-                     results: dict[str, SimulationResult]) -> "RunArtifact":
+                     results: dict[str, SimulationResult],
+                     trace: dict | None = None) -> "RunArtifact":
         runs = {m: MethodRun.from_result(m, r) for m, r in results.items()}
-        return cls(scenario=scenario, methods=runs, results=dict(results))
+        return cls(scenario=scenario, methods=runs, results=dict(results),
+                   trace=trace)
 
     # -- (de)serialization ----------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "schema": SCHEMA_NAME,
             "schema_version": SCHEMA_VERSION,
             "scenario": self.scenario.to_dict(),
             "methods": {m: run.to_dict() for m, run in self.methods.items()},
         }
+        if self.trace is not None:
+            out["trace"] = self.trace
+        return out
 
     def to_json(self, indent: int | None = 1) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -134,6 +147,7 @@ class RunArtifact:
             scenario=Scenario.from_dict(data["scenario"]),
             methods={m: MethodRun.from_dict(d)
                      for m, d in data["methods"].items()},
+            trace=data.get("trace"),
         )
 
     @classmethod
@@ -162,6 +176,12 @@ class RunArtifact:
         """Per-method scalar summary as a renderable table."""
         if title is None:
             title = f"Run summary: {self.scenario.describe()}"
+            if self.trace and (self.trace.get("n_input_clipped")
+                               or self.trace.get("n_output_clipped")):
+                title += (
+                    f" [clipped: in={self.trace['n_input_clipped']}"
+                    f" out={self.trace['n_output_clipped']}]"
+                )
         buckets = next(iter(self.methods.values())) \
             .summary["mean_decomposition_s"].keys() if self.methods else ()
         table = Table(title, ["method", *SUMMARY_METRICS, *buckets])
@@ -190,13 +210,15 @@ def compare_artifacts(a: RunArtifact, b: RunArtifact,
                       rtol: float = 1e-9) -> dict:
     """Structured diff of two artifacts.
 
-    Checks every summary scalar, every Fig.-10 decomposition bucket and
-    the per-request JCTs — not just headline numbers — so a simulator
-    change that re-attributes time between buckets while preserving
-    totals still shows up.  Returns ``{"equal": bool, "scenario_equal":
-    bool, "methods": {name: {metric: {"a":…, "b":…, "rel_diff":…}}}}``
-    where only metrics whose relative difference exceeds ``rtol`` (and
-    methods present in one side only) are listed.
+    Checks every summary scalar, every Fig.-10 decomposition bucket,
+    the per-request JCTs, the trace clip counts and — when both sides
+    carry them — the KV-store hit metrics and selection mix, not just
+    headline numbers — so a simulator change that re-attributes time
+    between buckets while preserving totals still shows up.  Returns
+    ``{"equal": bool, "scenario_equal": bool, "trace": {...}, "methods":
+    {name: {metric: {"a":…, "b":…, "rel_diff":…}}}}`` where only
+    metrics whose relative difference exceeds ``rtol`` (and methods
+    present in one side only) are listed.
     """
     diffs: dict[str, dict] = {}
     for method in sorted(set(a.methods) | set(b.methods)):
@@ -215,6 +237,19 @@ def compare_artifacts(a: RunArtifact, b: RunArtifact,
         for metric in _COMPARE_SCALARS:
             if metric in sa and metric in sb:   # v2 keys absent in v1
                 check(metric, sa[metric], sb[metric])
+        ka, kb = sa.get("kvstore"), sb.get("kvstore")
+        if ka is not None and kb is not None:
+            for metric in ("hit_rate", "prefill_tokens_skipped",
+                           "lookups", "hits", "dropped", "expired"):
+                check(f"kvstore.{metric}", ka[metric], kb[metric])
+        elif (ka is None) != (kb is None):
+            method_diff["kvstore"] = {"a": ka is not None,
+                                      "b": kb is not None,
+                                      "rel_diff": 1.0}
+        ma, mb = sa.get("selection_mix"), sb.get("selection_mix")
+        if ma != mb:
+            method_diff["selection_mix"] = {"a": ma, "b": mb,
+                                            "rel_diff": 1.0}
         da, db = sa["mean_decomposition_s"], sb["mean_decomposition_s"]
         for bucket in sorted(set(da) | set(db)):
             check(f"mean_decomposition_s.{bucket}",
@@ -232,7 +267,16 @@ def compare_artifacts(a: RunArtifact, b: RunArtifact,
                     "rel_diff": worst}
         if method_diff:
             diffs[method] = method_diff
+    trace_diff: dict = {}
+    ta, tb = a.trace, b.trace
+    if ta is not None and tb is not None:
+        for key in ("n_input_clipped", "n_output_clipped"):
+            va, vb = ta.get(key, 0), tb.get(key, 0)
+            if va != vb:
+                trace_diff[key] = {"a": va, "b": vb,
+                                   "rel_diff": _rel_diff(va, vb)}
     scenario_equal = a.scenario == b.scenario
-    return {"equal": scenario_equal and not diffs,
+    return {"equal": scenario_equal and not diffs and not trace_diff,
             "scenario_equal": scenario_equal,
+            "trace": trace_diff,
             "methods": diffs}

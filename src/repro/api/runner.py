@@ -97,6 +97,8 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
             pipelining=scenario.pipelining, decode_gpu=scenario.decode_gpu,
             activation_overhead=scenario.activation_overhead,
             scheduler=scenario.scheduler,
+            kvstore=scenario.kvstore,
+            selection=scenario.selection,
         )
         overrides = {}
         if scenario.n_prefill_replicas is not None:
@@ -137,15 +139,21 @@ def _timed_simulate(config: ClusterConfig, trace: list[TraceRequest],
     return result, perf
 
 
+def _trace_stats(resolved: ResolvedScenario) -> dict:
+    """Per-scenario trace metadata carried on the artifact (schema v3)."""
+    return {"n_input_clipped": resolved.n_input_clipped,
+            "n_output_clipped": resolved.n_output_clipped}
+
+
 def _run_job(job: tuple[int, Scenario]
-             ) -> tuple[int, str, SimulationResult, dict]:
+             ) -> tuple[int, str, SimulationResult, dict, dict]:
     """Pool work unit: one single-method scenario (picklable in + out)."""
     index, scenario = job
     resolved = resolve(scenario)
     method = scenario.methods[0]
     result, perf = _timed_simulate(resolved.configs[method],
                                    list(resolved.trace))
-    return index, method, result, perf
+    return index, method, result, perf, _trace_stats(resolved)
 
 
 class Runner:
@@ -184,14 +192,18 @@ class Runner:
             {} for _ in scenarios
         ]
         perf_grouped: list[dict[str, dict]] = [{} for _ in scenarios]
-        for index, method, result, perf in outputs:
+        trace_stats: list[dict | None] = [None for _ in scenarios]
+        for index, method, result, perf, stats in outputs:
             grouped[index][method] = result
             perf_grouped[index][method] = perf
+            trace_stats[index] = stats
         artifacts = []
-        for scenario, results, perfs in zip(scenarios, grouped,
-                                            perf_grouped):
+        for scenario, results, perfs, stats in zip(scenarios, grouped,
+                                                   perf_grouped,
+                                                   trace_stats):
             ordered = {m: results[m] for m in scenario.methods}
-            artifact = RunArtifact.from_results(scenario, ordered)
+            artifact = RunArtifact.from_results(scenario, ordered,
+                                                trace=stats)
             artifact.perf = {m: perfs[m] for m in scenario.methods}
             artifacts.append(artifact)
         return artifacts
@@ -204,10 +216,11 @@ class Runner:
         for index, scenario in enumerate(scenarios):
             resolved = resolve(scenario)
             trace = list(resolved.trace)
+            stats = _trace_stats(resolved)
             for method in scenario.methods:
                 result, perf = _timed_simulate(resolved.configs[method],
                                                trace)
-                outputs.append((index, method, result, perf))
+                outputs.append((index, method, result, perf, stats))
         return outputs
 
     def _run_pool(self, jobs):

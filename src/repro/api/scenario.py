@@ -28,6 +28,16 @@ import json
 import re
 from dataclasses import dataclass, field, replace
 
+from ..kvstore.selection import (
+    SelectionSpec,
+    canonical_selection,
+    has_selection_policy,
+)
+from ..kvstore.spec import (
+    KVStoreSpec,
+    canonical_kvstore,
+    has_kvstore_families,
+)
 from ..methods import (
     MethodSpec,
     canonical_method,
@@ -131,6 +141,17 @@ class Scenario:
     #: paper's §7.1 pair (and serializes/slugs exactly as before the
     #: field existed).
     scheduler: str | None = None
+    #: Tiered KV store for prefix caching: a grammar string
+    #: (``"tiered?dram_gb=8.0+lfu"``, or a bare eviction name like
+    #: ``"lfu"``) or a :class:`~repro.kvstore.KVStoreSpec`; ``None``
+    #: keeps the historical no-store path (and serializes/slugs exactly
+    #: as before the field existed).
+    kvstore: str | None = None
+    #: Per-request compression-selection policy: a grammar string
+    #: (``"slo_tier"``, ``"congestion?hi=0.8,lo=0.5"``) or a
+    #: :class:`~repro.kvstore.SelectionSpec`; ``None`` keeps one method
+    #: per cluster (and serializes/slugs exactly as before).
+    selection: str | None = None
     #: Overrides on DEFAULT_CALIBRATION, e.g. {"net_efficiency": 0.25}.
     calibration: tuple[tuple[str, float], ...] | None = None
     #: Optional human label; never affects resolution, equality or the
@@ -190,6 +211,25 @@ class Scenario:
             else:
                 scheduler = scheduler.strip()
             object.__setattr__(self, "scheduler", scheduler)
+        if self.kvstore is not None:
+            # Unknown-family tolerance, as for methods/arrival/scheduler.
+            kvstore = self.kvstore
+            if isinstance(kvstore, KVStoreSpec) \
+                    or not isinstance(kvstore, str) \
+                    or has_kvstore_families(kvstore):
+                kvstore = canonical_kvstore(kvstore)
+            else:
+                kvstore = kvstore.strip()
+            object.__setattr__(self, "kvstore", kvstore)
+        if self.selection is not None:
+            selection = self.selection
+            if isinstance(selection, SelectionSpec) \
+                    or not isinstance(selection, str) \
+                    or has_selection_policy(selection):
+                selection = canonical_selection(selection)
+            else:
+                selection = selection.strip()
+            object.__setattr__(self, "selection", selection)
 
     # -- derived views --------------------------------------------------------
 
@@ -214,7 +254,8 @@ class Scenario:
     def to_dict(self) -> dict:
         """A JSON-ready dict (calibration as a plain mapping).
 
-        ``step_mode``, ``arrival`` and ``scheduler`` are emitted only
+        ``step_mode``, ``arrival``, ``scheduler``, ``kvstore`` and
+        ``selection`` are emitted only
         when set: a defaulted scenario serializes exactly as it did
         before the fields existed, so schema readers predating them
         still load such artifacts (and slugs of pre-existing scenarios
@@ -224,7 +265,8 @@ class Scenario:
         out["methods"] = list(self.methods)
         out["calibration"] = (dict(self.calibration)
                               if self.calibration else None)
-        for optional in ("step_mode", "arrival", "scheduler"):
+        for optional in ("step_mode", "arrival", "scheduler", "kvstore",
+                         "selection"):
             if out[optional] is None:
                 del out[optional]
         return out
@@ -277,7 +319,7 @@ class Scenario:
         for fname in ("rps", "load_factor", "n_requests", "seed", "scale",
                       "n_prefill_replicas", "n_decode_replicas",
                       "activation_overhead", "step_mode", "arrival",
-                      "scheduler"):
+                      "scheduler", "kvstore", "selection"):
             value = getattr(self, fname)
             if value is not None and (fname != "scale" or value != 1.0):
                 bits.append(f"{fname}={value}")

@@ -19,6 +19,17 @@ can ride along a ``method.partition_size`` sweep)::
 expands to four scenarios whose methods are ``("baseline",
 "hack?pi=32")`` … ``("baseline", "hack?pi=256")`` — one artifact per
 spec, exactly like any other axis.
+
+Axes named ``kvstore.<param>`` sweep a **KV-store family parameter**
+(see :mod:`repro.kvstore`) on the base scenario's store — or on the
+default ``tiered`` store when the base has none (sweeping
+``kvstore.dram_gb`` implies a store exists)::
+
+    Sweep(Scenario(kvstore="tiered+lfu"),
+          axes={"kvstore.dram_gb": [4.0, 16.0, 64.0]})
+
+The ``kvstore`` and ``selection`` fields themselves are ordinary
+Scenario-field axes (``axes={"selection": ["slo_tier", "congestion"]}``).
 """
 
 from __future__ import annotations
@@ -28,16 +39,22 @@ import itertools
 import json
 from dataclasses import dataclass, replace
 
+from ..kvstore.spec import KVStoreSpec, kvstore_spec
 from ..methods import apply_method_params
 from .scenario import Scenario
 
-__all__ = ["Sweep", "METHOD_AXIS_PREFIX"]
+__all__ = ["Sweep", "METHOD_AXIS_PREFIX", "KVSTORE_AXIS_PREFIX"]
 
 _SCENARIO_FIELDS = {f.name for f in dataclasses.fields(Scenario)}
 
 #: Axis-name prefix selecting a method-spec parameter instead of a
 #: Scenario field.
 METHOD_AXIS_PREFIX = "method."
+
+#: Axis-name prefix selecting a KV-store family parameter (e.g.
+#: ``kvstore.dram_gb``); applied via
+#: :meth:`repro.kvstore.KVStoreSpec.with_params`.
+KVSTORE_AXIS_PREFIX = "kvstore."
 
 
 def _freeze(value):
@@ -67,11 +84,18 @@ class Sweep:
                         f"method axis {name!r} names no parameter; use "
                         "method.<param>, e.g. method.partition_size"
                     )
+            elif name.startswith(KVSTORE_AXIS_PREFIX):
+                if not name[len(KVSTORE_AXIS_PREFIX):]:
+                    raise ValueError(
+                        f"kvstore axis {name!r} names no parameter; use "
+                        "kvstore.<param>, e.g. kvstore.dram_gb"
+                    )
             elif name not in _SCENARIO_FIELDS or name == "name":
                 raise ValueError(
                     f"{name!r} is not a sweepable Scenario field "
                     f"(method-spec parameters sweep as "
-                    f"{METHOD_AXIS_PREFIX}<param>)"
+                    f"{METHOD_AXIS_PREFIX}<param>, KV-store parameters "
+                    f"as {KVSTORE_AXIS_PREFIX}<param>)"
                 )
             values = tuple(_freeze(v) for v in values)
             if not values:
@@ -114,6 +138,19 @@ class Sweep:
                 for n in [n for n in changes
                           if n.startswith(METHOD_AXIS_PREFIX)]
             }
+            kv_changes = {
+                n[len(KVSTORE_AXIS_PREFIX):]: changes.pop(n)
+                for n in [n for n in changes
+                          if n.startswith(KVSTORE_AXIS_PREFIX)]
+            }
+            if kv_changes:
+                # Unknown parameters raise inside with_params — a typo'd
+                # kvstore axis fails the whole expansion, like a typo'd
+                # Scenario field.
+                spec = kvstore_spec(self.base.kvstore) \
+                    if self.base.kvstore is not None else KVStoreSpec()
+                changes["kvstore"] = spec.with_params(
+                    **kv_changes).canonical()
             scenario = self.base.replace(name=label, **changes)
             if spec_changes:
                 methods, applied = _apply_spec_changes(scenario.methods,

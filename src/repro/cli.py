@@ -46,6 +46,7 @@ from .experiments import (
     fig9_12_jct,
     fig13_ablation,
     fig14_scalability,
+    kvstore as kvstore_experiment,
     scheduling,
     sec3_fp_formats,
     slo_goodput,
@@ -53,6 +54,9 @@ from .experiments import (
     table6_accuracy,
     table8_sensitivity,
 )
+from .kvstore.selection import selection_policies, split_selection_list
+from .kvstore.spec import eviction_policies, kvstore_families, \
+    split_kvstore_list
 from .methods import METHODS, method_families, split_method_list
 from .model.config import MODEL_LETTERS as MODEL_REGISTRY
 from .sim.scheduling import dispatch_policies, placement_policies, \
@@ -120,6 +124,9 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     "sched": ExperimentSpec(
         "scheduling policies × arrivals on a mixed A10G+T4 fleet",
         lambda s, r: scheduling.run(scale=s, runner=r)),
+    "kvstore": ExperimentSpec(
+        "tiered KV store × compression selection on session workloads",
+        lambda s, r: kvstore_experiment.run(scale=s, runner=r)),
 }
 
 #: Dataset axis used by the default ``sweep`` grid (Fig. 9 style).
@@ -182,6 +189,18 @@ def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
                             "like nic_aware+no_swap, or with parameters "
                             "random?seed=7 (see `list`; default is the "
                             "paper's splitwise+shortest_queue)")
+    group.add_argument("--kvstore", default=None,
+                       metavar="STORE",
+                       help="tiered KV store for prefix caching: a spec "
+                            "like tiered?dram_gb=8.0+lfu or a bare "
+                            "eviction name (lru, lfu, ttl?seconds=120) "
+                            "(see `list`; default is no store)")
+    group.add_argument("--selection", default=None,
+                       metavar="POLICY",
+                       help="per-request compression-selection policy: "
+                            "static, slo_tier?tier2=hack_int4, or "
+                            "congestion?hi=0.75,lo=0.5 (see `list`; "
+                            "default keeps one method per cluster)")
     group.add_argument("--calib", action="append", default=[],
                        metavar="KEY=VALUE",
                        help="calibration override (repeatable)")
@@ -229,6 +248,8 @@ def _scenario_from_args(args, scale: float) -> Scenario:
         step_mode=args.step_mode,
         arrival=args.arrival,
         scheduler=args.scheduler,
+        kvstore=args.kvstore,
+        selection=args.selection,
         calibration=calibration,
     )
 
@@ -251,6 +272,12 @@ def _parse_axis(spec: str) -> tuple[str, tuple]:
         # and for scheduler pairs: "splitwise,random?seed=3+no_swap"
         # is two axis values.
         return field, tuple(split_scheduler_list(raw))
+    if field == "kvstore":
+        # and for store specs: "tiered?dram_gb=4.0,hbm_gb=2.0+lfu,lru"
+        # is two axis values.
+        return field, tuple(split_kvstore_list(raw))
+    if field == "selection":
+        return field, tuple(split_selection_list(raw))
     return field, tuple(_coerce(token) for token in raw.split(","))
 
 
@@ -489,6 +516,27 @@ def _cmd_list(args) -> int:
                               for p, pd in cls.params.items()}}
             for name, cls in placement_policies().items()
         },
+        "kvstore_families": {
+            name: {"description": fam.description,
+                   "signature": fam.signature(),
+                   "params": {p: pd.default
+                              for p, pd in fam.params.items()}}
+            for name, fam in kvstore_families().items()
+        },
+        "eviction_policies": {
+            name: {"description": cls.description,
+                   "signature": cls.signature(),
+                   "params": {p: pd.default
+                              for p, pd in cls.params.items()}}
+            for name, cls in eviction_policies().items()
+        },
+        "selection_policies": {
+            name: {"description": cls.description,
+                   "signature": cls.signature(),
+                   "params": {p: pd.default
+                              for p, pd in cls.params.items()}}
+            for name, cls in selection_policies().items()
+        },
         "prefill_gpus": list(fig1_motivation.GPUS),
     }
     if args.json:
@@ -514,6 +562,16 @@ def _cmd_list(args) -> int:
         print(f"  {cls.signature():42s} {cls.description}")
     print(" placement:")
     for name, cls in placement_policies().items():
+        print(f"  {cls.signature():42s} {cls.description}")
+    print("KV-store families (--kvstore family?key=val+eviction, same "
+          "grammar):")
+    for name, fam in kvstore_families().items():
+        print(f"  {fam.signature():42s} {fam.description}")
+    print(" eviction:")
+    for name, cls in eviction_policies().items():
+        print(f"  {cls.signature():42s} {cls.description}")
+    print("selection policies (--selection, same grammar):")
+    for name, cls in selection_policies().items():
         print(f"  {cls.signature():42s} {cls.description}")
     return 0
 
@@ -545,7 +603,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sweep axis (repeatable); methods values may "
                             "join sets with '+'; method.<param> sweeps a "
                             "method-spec parameter, e.g. "
-                            "method.partition_size=32,64,128,256")
+                            "method.partition_size=32,64,128,256; "
+                            "kvstore.<param> sweeps a KV-store parameter, "
+                            "e.g. kvstore.dram_gb=4,16,64")
     sweep.add_argument("--scale", type=float, default=None)
     _add_scenario_flags(sweep)
     _add_output_flags(sweep)

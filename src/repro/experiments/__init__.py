@@ -6,6 +6,7 @@ from . import (
     fig9_12_jct,
     fig13_ablation,
     fig14_scalability,
+    kvstore,
     scheduling,
     sec3_fp_formats,
     slo_goodput,
@@ -20,6 +21,7 @@ __all__ = [
     "fig9_12_jct",
     "fig13_ablation",
     "fig14_scalability",
+    "kvstore",
     "scheduling",
     "sec3_fp_formats",
     "slo_goodput",

@@ -1,0 +1,115 @@
+"""Tiered KV-store study: prefix caching × compression selection
+(beyond the paper).
+
+The paper ships every request's KV from prefill to decode and forgets
+it.  Production disaggregated stacks (Mooncake, CachedAttention,
+KVServe-style pools) interpose a storage tier: multi-turn sessions
+re-prefill a growing shared prefix on every turn, so caching the
+compressed KV in a GPU→DRAM→pool hierarchy converts that repeated
+prefill compute into a tier read.  This experiment runs a multi-turn
+session workload (``sessions`` arrival family, per-session SLO classes)
+over a grid of store configurations × compression-selection policies
+and reports what the store buys: prefix hit rate, prefill tokens
+skipped, TTFT (the metric prefix caching moves), JCT, SLO goodput,
+eviction churn, and which method each service class ended up on.
+
+Shapes: any warm store slashes mean TTFT versus the cold baseline (the
+first row) because turn *t* re-prefills only its new tokens; the tiny
+``ttl``-evicting store shows eviction churn and a lower hit rate;
+``slo_tier`` selection moves premium traffic to heavier-accuracy
+methods at some wire-bytes cost; ``congestion`` selection only departs
+from the scenario method when the pool/NIC signal trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import Table
+from ..api import Runner, Scenario, Sweep
+from ..sim.engine import SimulationResult
+from .common import run_grid
+
+__all__ = ["KVStoreStudy", "run", "KVSTORE_SWEEP", "KVSTORES",
+           "SELECTIONS", "SESSION_ARRIVAL"]
+
+#: The store axis: cold (no store — the historical engine path), the
+#: default hierarchy, an LFU variant, and a deliberately undersized
+#: TTL-evicting store whose churn halves the hit rate.  ``None`` means
+#: "no kvstore", exactly as the Scenario field spells it.
+KVSTORES = (
+    None,
+    "tiered?dram_gb=8.0",
+    "tiered?dram_gb=8.0+lfu",
+    "tiered?hbm_gb=0.1,dram_gb=1.0,pool_gb=4.0+ttl?seconds=120.0",
+)
+
+#: The selection axis: one method for everyone (None), per-SLO-class
+#: methods, and congestion-triggered escalation.
+SELECTIONS = (None, "slo_tier", "congestion?hi=0.75,lo=0.5")
+
+#: Multi-turn sessions with three service classes: ~4 turns each, 30 s
+#: think time, each turn's prompt ~30% new tokens on top of the shared
+#: conversation prefix.
+SESSION_ARRIVAL = "sessions?turns=4.0,think_time=30.0,prefix_growth=0.3,tiers=3.0"
+
+KVSTORE_SWEEP = Sweep(
+    Scenario(methods=("hack",), arrival=SESSION_ARRIVAL),
+    axes={"kvstore": KVSTORES, "selection": SELECTIONS},
+)
+
+
+@dataclass
+class KVStoreStudy:
+    """Store × selection grid plus the live results."""
+
+    table: Table
+    #: ``results[(kvstore, selection)]`` — axis values as the Scenario
+    #: canonicalized them (``None`` for the cold / static rows).
+    results: dict[tuple[str | None, str | None], SimulationResult]
+
+    def render(self) -> str:
+        return self.table.render()
+
+    def cold(self) -> SimulationResult:
+        """The no-store, no-selection baseline row."""
+        return self.results[(None, None)]
+
+
+def _mix_label(mix: dict | None) -> str:
+    """Compact per-tier dominant-method label, e.g. ``0:bl 1:hack``."""
+    if not mix:
+        return "-"
+    parts = []
+    for tier, counts in sorted(mix.items()):
+        best = max(sorted(counts), key=lambda m: counts[m])
+        parts.append(f"{tier}:{best}")
+    return " ".join(parts)
+
+
+def run(scale: float = 1.0, runner: Runner | None = None) -> KVStoreStudy:
+    """Store-config × selection-policy grid on a session workload."""
+    table = Table(
+        "Tiered KV store × compression selection (Llama-70B, A10G, "
+        "Cocktail sessions)",
+        ["kvstore", "selection", "hit_rate", "skipped_ktok", "mean_ttft_s",
+         "p99_ttft_s", "avg_jct_s", "goodput_rps", "evictions",
+         "method_by_tier"],
+    )
+    results: dict[tuple[str | None, str | None], SimulationResult] = {}
+    for art in run_grid(KVSTORE_SWEEP, scale, runner):
+        scn = art.scenario
+        res = art.results["hack"]
+        results[(scn.kvstore, scn.selection)] = res
+        stats = res.kvstore_stats
+        hit_rate = stats["hit_rate"] if stats else 0.0
+        skipped = stats["prefill_tokens_skipped"] / 1e3 if stats else 0.0
+        evictions = sum(t["evictions"] for t in stats["tiers"].values()) \
+            if stats else 0
+        summ = res.summary()
+        table.add_row(scn.kvstore or "(none)", scn.selection or "(static)",
+                      hit_rate, skipped, summ["mean_ttft_s"],
+                      summ["p99_ttft_s"], summ["avg_jct_s"],
+                      summ["slo_goodput_rps"], evictions,
+                      _mix_label(res.selection_mix))
+    return KVStoreStudy(table=table, results=results)

@@ -1,0 +1,416 @@
+"""Service-aware compression selection: per-request MethodSpec choice.
+
+KVServe's observation (PAPERS.md) is that the compression method is a
+*runtime* decision, not a deployment constant: latency-tolerant SLO
+tiers can absorb stronger compression, and a congested KV path should
+shed bytes.  This module hosts that decision as an open registry of
+:class:`CompressionSelectionPolicy` families, specced with the same
+``family?k=v`` grammar as everything else::
+
+    static                                    # the scenario's method
+    slo_tier?tier1=hack,tier2=hack_int4       # SLO class -> method
+    congestion?hi=0.75,lo=0.5,strong=hack_int4
+
+A policy's :meth:`choose` returns the
+:class:`~repro.methods.base.Method` for one request at admission time;
+the engine then routes that request's quantize cost, wire bytes,
+decode-memory reservation and KV-store byte accounting through it.
+Method-valued parameters are word-safe method references (legacy names
+like ``hack_int4`` or parameterless family names — the spec grammar's
+metacharacters ``,=?+`` cannot nest), validated at spec-construction
+time.
+
+The decode batch cost model stays the *scenario's* method: the engine
+simulates one decode kernel per cluster, a deliberate approximation —
+selection governs the bytes-on-the-path side (quantize, wire, store,
+memory), which is where HACK's bottleneck lives.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass
+
+from ..methods.base import Method
+from ..methods.spec import resolve_method
+
+__all__ = [
+    "SelectionParam",
+    "CompressionSelectionPolicy",
+    "SelectionSpec",
+    "register_selection",
+    "get_selection_policy",
+    "selection_policies",
+    "has_selection_policy",
+    "selection_spec",
+    "parse_selection",
+    "canonical_selection",
+    "split_selection_list",
+]
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class SelectionParam:
+    """One policy parameter: the default fixes the type (float, or a
+    word-safe string — typically a method reference)."""
+
+    default: object
+    doc: str = ""
+
+
+class CompressionSelectionPolicy:
+    """Picks the compression :class:`Method` for one arriving request.
+
+    Subclasses set :attr:`name`, :attr:`description`, :attr:`params`
+    and implement :meth:`choose`; they may hold per-run state (the
+    congestion policy's hysteresis latch) and override :meth:`bind` to
+    precompute from the simulator.
+    """
+
+    #: Registry key; also the prefix of the string grammar.
+    name: str = "abstract"
+    #: One-line summary shown by ``cli list``.
+    description: str = ""
+    #: Parameter table: name -> :class:`SelectionParam`.
+    params: dict[str, SelectionParam] = {}
+
+    def __init__(self, **params) -> None:
+        self.p = params
+
+    def bind(self, sim) -> None:
+        """Called once before the simulation starts."""
+
+    def choose(self, now: float, req, sim) -> Method:
+        """The method for ``req`` (``req.trace`` carries ``slo_tier``;
+        ``sim`` exposes ``method``, ``kvstore``, ``_prefill``…)."""
+        raise NotImplementedError
+
+    @classmethod
+    def validate(cls, **params) -> None:
+        """Raise ``ValueError`` for out-of-range parameter values."""
+
+    @classmethod
+    def signature(cls) -> str:
+        """Grammar template with defaults."""
+        if not cls.params:
+            return cls.name
+        parts = [f"{name}={pd.default}" for name, pd in cls.params.items()]
+        return f"{cls.name}?{','.join(parts)}"
+
+
+_SELECTIONS: dict[str, type] = {}
+
+
+def register_selection(cls=None, *, replace: bool = False):
+    """Class decorator registering a selection-policy family."""
+
+    def decorator(obj):
+        if not (isinstance(obj, type)
+                and issubclass(obj, CompressionSelectionPolicy)):
+            raise TypeError(
+                f"{getattr(obj, '__name__', obj)!r} must subclass "
+                "CompressionSelectionPolicy"
+            )
+        if not _NAME_RE.match(obj.name or ""):
+            raise ValueError(
+                f"selection policy name {obj.name!r} must match "
+                f"{_NAME_RE.pattern}"
+            )
+        if obj.name in _SELECTIONS and not replace:
+            raise ValueError(
+                f"selection policy {obj.name!r} is already registered; "
+                "pass register_selection(replace=True) to override"
+            )
+        for pname, pd in obj.params.items():
+            ok_float = isinstance(pd.default, (int, float)) \
+                and not isinstance(pd.default, bool)
+            ok_str = isinstance(pd.default, str) and pd.default
+            if not (ok_float or ok_str):
+                raise ValueError(
+                    f"parameter {pname!r} default must be a number or a "
+                    f"non-empty string, got {pd.default!r}"
+                )
+        _SELECTIONS[obj.name] = obj
+        return obj
+
+    if cls is not None:
+        return decorator(cls)
+    return decorator
+
+
+def get_selection_policy(name: str) -> type:
+    """Look up a selection family, with typo suggestions."""
+    try:
+        return _SELECTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown selection policy {name!r}"
+            f"{_suggest(name, _SELECTIONS)}"
+        ) from None
+
+
+def selection_policies() -> dict[str, type]:
+    """All registered families (a copy, registration order)."""
+    return dict(_SELECTIONS)
+
+
+def has_selection_policy(reference: str) -> bool:
+    """True when a string selection reference names a family registered
+    in this process (parameters may still be invalid)."""
+    return reference.strip().partition("?")[0].strip() in _SELECTIONS
+
+
+def _suggest(name: str, candidates) -> str:
+    matches = difflib.get_close_matches(name, list(candidates), n=3)
+    if matches:
+        return "; did you mean " + " or ".join(repr(m) for m in matches) + "?"
+    return f"; choose from {', '.join(sorted(candidates))}"
+
+
+def _coerce(kind: str, name: str, pd: SelectionParam, value):
+    where = f"parameter {name!r} of selection policy {kind!r}"
+    if isinstance(pd.default, str):
+        if not isinstance(value, str):
+            raise ValueError(f"{where} expects a string, got {value!r}")
+        if not value or any(c in value for c in ",=?+ "):
+            raise ValueError(
+                f"{where} string values must be non-empty and free of "
+                f"',', '=', '?', '+' and spaces; got {value!r}"
+            )
+        return value
+    if isinstance(value, bool):
+        raise ValueError(f"{where} expects a number, got {value!r}")
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{where} expects a number, got {value!r}"
+        ) from None
+
+
+# -- the spec -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelectionSpec:
+    """A declarative selection-policy reference: family + parameters.
+
+    ``params`` holds only the parameters given explicitly, coerced to
+    the family's declared types and sorted; an explicitly-given default
+    is kept (``congestion?hi=0.75`` stays distinct from
+    ``congestion``).
+    """
+
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        family = get_selection_policy(self.kind)
+        items = self.params.items() if isinstance(self.params, dict) \
+            else self.params
+        normalized: dict[str, object] = {}
+        for key, value in items:
+            if key not in family.params:
+                raise ValueError(
+                    f"selection policy {self.kind!r} has no parameter "
+                    f"{key!r}{_suggest(key, family.params)}"
+                )
+            if key in normalized:
+                raise ValueError(
+                    f"parameter {key!r} given twice for selection policy "
+                    f"{self.kind!r}"
+                )
+            normalized[key] = _coerce(self.kind, key, family.params[key],
+                                      value)
+        object.__setattr__(self, "params", tuple(sorted(normalized.items())))
+        family.validate(**self.resolved_params())
+
+    @classmethod
+    def of(cls, kind: str, **params) -> "SelectionSpec":
+        return cls(kind, tuple(params.items()))
+
+    def resolved_params(self) -> dict:
+        """Family defaults overlaid with this spec's parameters."""
+        family = get_selection_policy(self.kind)
+        out = {name: pd.default for name, pd in family.params.items()}
+        out.update(self.params)
+        return out
+
+    def build(self) -> CompressionSelectionPolicy:
+        """A fresh policy instance (policies may hold per-run state)."""
+        return get_selection_policy(self.kind)(**self.resolved_params())
+
+    def canonical(self) -> str:
+        """Compact string form, e.g. ``congestion?hi=0.75,lo=0.5``."""
+        if not self.params:
+            return self.kind
+        parts = []
+        for k, v in self.params:
+            parts.append(f"{k}={v!r}" if isinstance(v, float)
+                         else f"{k}={v}")
+        return f"{self.kind}?{','.join(parts)}"
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+# -- string grammar -----------------------------------------------------------
+
+def parse_selection(text: str) -> SelectionSpec:
+    """Parse ``family[?key=value,…]`` into a :class:`SelectionSpec`."""
+    text = text.strip()
+    kind, sep, rest = text.partition("?")
+    kind = kind.strip()
+    if kind not in _SELECTIONS:
+        raise ValueError(
+            f"unknown selection policy {kind!r}{_suggest(kind, _SELECTIONS)}"
+        )
+    if not sep:
+        return SelectionSpec(kind)
+    pairs = []
+    for item in rest.split(","):
+        key, eq, value = item.partition("=")
+        key, value = key.strip(), value.strip()
+        if not eq or not key or not value:
+            raise ValueError(
+                f"bad selection parameter {item!r} in {text!r}; the "
+                "grammar is family?key=value,key=value"
+            )
+        pairs.append((key, value))
+    return SelectionSpec(kind, tuple(pairs))
+
+
+def selection_spec(reference) -> SelectionSpec:
+    """The :class:`SelectionSpec` behind any selection reference: a
+    spec or a grammar string."""
+    if isinstance(reference, SelectionSpec):
+        return reference
+    if isinstance(reference, str):
+        return parse_selection(reference)
+    raise TypeError(
+        f"expected a SelectionSpec or string, got "
+        f"{type(reference).__name__}"
+    )
+
+
+def canonical_selection(reference) -> str:
+    """The canonical string form of a selection reference."""
+    return selection_spec(reference).canonical()
+
+
+def split_selection_list(text: str) -> list[str]:
+    """Split a comma-separated selection list, keeping spec parameters
+    attached: ``"static,congestion?hi=0.8,lo=0.4"`` →
+    ``["static", "congestion?hi=0.8,lo=0.4"]``."""
+    parts: list[str] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if parts and "=" in token and "?" not in token and "?" in parts[-1]:
+            parts[-1] += "," + token
+        else:
+            parts.append(token)
+    return parts
+
+
+def _check_method_ref(kind: str, name: str, value: str) -> None:
+    try:
+        resolve_method(value)
+    except ValueError as exc:
+        raise ValueError(
+            f"parameter {name!r} of selection policy {kind!r} must name "
+            f"a resolvable method: {exc}"
+        ) from None
+
+
+# -- built-in families --------------------------------------------------------
+
+@register_selection
+class StaticSelection(CompressionSelectionPolicy):
+    name = "static"
+    description = "always the scenario's configured method (the default)"
+
+    def choose(self, now, req, sim):
+        return sim.method
+
+
+@register_selection
+class SLOTierSelection(CompressionSelectionPolicy):
+    name = "slo_tier"
+    description = ("map the request's SLO class to a method (KVServe-"
+                   "style: looser tiers absorb stronger compression)")
+    params = {
+        "tier0": SelectionParam(
+            "baseline", "method for SLO class 0 (strictest)"),
+        "tier1": SelectionParam("hack", "method for SLO class 1"),
+        "tier2": SelectionParam(
+            "hack_int4", "method for SLO class >= 2 (loosest)"),
+    }
+
+    @classmethod
+    def validate(cls, *, tier0, tier1, tier2):
+        for name, value in (("tier0", tier0), ("tier1", tier1),
+                            ("tier2", tier2)):
+            _check_method_ref(cls.name, name, value)
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        self._methods = [resolve_method(self.p[k])
+                         for k in ("tier0", "tier1", "tier2")]
+
+    def choose(self, now, req, sim):
+        tier = min(max(req.trace.slo_tier, 0), len(self._methods) - 1)
+        return self._methods[tier]
+
+
+@register_selection
+class CongestionSelection(CompressionSelectionPolicy):
+    name = "congestion"
+    description = ("switch to the strong method while pooled-store "
+                   "occupancy or NIC backlog is high (hysteresis)")
+    params = {
+        "hi": SelectionParam(0.75, "signal level that arms strong mode"),
+        "lo": SelectionParam(0.5, "signal level that disarms it"),
+        "strong": SelectionParam(
+            "hack_int4", "method used while congested"),
+        "nic_s": SelectionParam(
+            1.0, "NIC backlog (seconds) that saturates the signal"),
+    }
+
+    @classmethod
+    def validate(cls, *, hi, lo, strong, nic_s):
+        if not 0 < hi <= 1:
+            raise ValueError(f"congestion hi must be in (0, 1], got {hi}")
+        if not 0 <= lo < hi:
+            raise ValueError(
+                f"congestion lo must be in [0, hi), got lo={lo} hi={hi}"
+            )
+        if nic_s <= 0:
+            raise ValueError(
+                f"congestion nic_s must be positive, got {nic_s}"
+            )
+        _check_method_ref(cls.name, "strong", strong)
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        self._strong = resolve_method(self.p["strong"])
+        self._congested = False
+
+    def signal(self, now: float, sim) -> float:
+        """max(pooled-store occupancy, normalized worst NIC backlog)."""
+        pool = sim.kvstore.pool_occupancy() if sim.kvstore else 0.0
+        backlog = max((r.nic_free_at - now for r in sim._prefill),
+                      default=0.0)
+        return max(pool, min(1.0, max(0.0, backlog) / self.p["nic_s"]))
+
+    def choose(self, now, req, sim):
+        signal = self.signal(now, sim)
+        if self._congested:
+            if signal <= self.p["lo"]:
+                self._congested = False
+        elif signal >= self.p["hi"]:
+            self._congested = True
+        return self._strong if self._congested else sim.method

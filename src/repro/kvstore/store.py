@@ -1,0 +1,302 @@
+"""Runtime tiered KV prefix cache (Mooncake/DADI-style put/get).
+
+A :class:`TieredKVStore` holds compressed KV blocks keyed by
+conversation (session), ordered fastest tier first.  The engine drives
+it with three calls:
+
+* :meth:`lookup` on request admission — the longest cached prefix of
+  the prompt, token-granular: the hit's bytes are charged at the owning
+  tier's read bandwidth (plus its fixed latency) and the entry is
+  promoted to the top tier;
+* :meth:`put` on prefill completion (and again, extended, on request
+  completion) — the new bytes are written at the entry's tier's write
+  bandwidth, then capacity is enforced top-down: the eviction policy
+  picks victims, which *demote* one tier down (paying that tier's
+  write) until the bottom tier drops them entirely;
+* :meth:`occupancy` — per-tier fill fraction, what congestion-aware
+  compression selection keys on.
+
+Entries store bytes under the **selected method's wire format**
+(bytes-per-token is method-dependent), so hit accounting, eviction
+pressure and read time all flow through the per-request
+:class:`~repro.methods.base.Method` the selection policy chose.
+
+Everything is deterministic: entries carry a monotone insertion ``seq``
+and the built-in policies break ties on it, so victim choice never
+depends on hash order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..perfmodel.tiers import TIER_LATENCY_S, tier_access_time
+from .spec import EvictionPolicy
+
+__all__ = ["TierDef", "TierState", "CacheEntry", "CacheHit", "TieredKVStore"]
+
+
+@dataclass(frozen=True)
+class TierDef:
+    """Static shape of one tier: capacity (bytes), read/write GB/s."""
+
+    name: str
+    capacity_bytes: float
+    read_gb_s: float
+    write_gb_s: float
+
+
+@dataclass
+class CacheEntry:
+    """One cached conversation prefix (compressed KV)."""
+
+    key: object
+    tokens: int
+    bytes_per_token: float
+    method_name: str
+    tier: int                     # index into the store's tier list
+    seq: int                      # monotone insertion order (tie-breaks)
+    created_s: float
+    last_access_s: float
+    n_hits: int = 0
+
+    @property
+    def nbytes(self) -> float:
+        return self.tokens * self.bytes_per_token
+
+
+@dataclass
+class TierState:
+    """One tier's live contents and counters."""
+
+    spec: TierDef
+    used_bytes: float = 0.0
+    entries: dict = field(default_factory=dict)   # key -> CacheEntry
+    # Counters (surface on stats()).
+    hits: int = 0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    read_s: float = 0.0
+    write_s: float = 0.0
+    evictions: int = 0            # entries pushed out (demoted or dropped)
+
+    @property
+    def latency_s(self) -> float:
+        return TIER_LATENCY_S.get(self.spec.name, 0.0)
+
+    def occupancy(self) -> float:
+        if self.spec.capacity_bytes <= 0:
+            return 0.0
+        return self.used_bytes / self.spec.capacity_bytes
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """Outcome of one prefix lookup."""
+
+    tokens: int                   # cached prefix tokens matched (0 = miss)
+    read_s: float                 # time to read them from the owning tier
+    tier: str | None              # tier name the hit was served from
+
+    @property
+    def hit(self) -> bool:
+        return self.tokens > 0
+
+
+_MISS = CacheHit(0, 0.0, None)
+
+
+class TieredKVStore:
+    """The runtime hierarchy: ordered tiers + one eviction policy."""
+
+    def __init__(self, tiers: list[TierDef],
+                 eviction: EvictionPolicy) -> None:
+        if not tiers:
+            raise ValueError("a KV store needs at least one tier")
+        self.tiers = [TierState(spec=t) for t in tiers]
+        self.eviction = eviction
+        self._index: dict = {}        # key -> CacheEntry (its tier too)
+        self._seq = itertools.count()
+        self.n_lookups = 0
+        self.n_hits = 0
+        self.tokens_hit = 0
+        self.n_dropped = 0            # entries evicted out of the hierarchy
+        self.n_expired = 0            # entries dropped by policy expiry
+
+    # -- the engine-facing API -------------------------------------------------
+
+    def lookup(self, key, prefix_tokens: int, now: float) -> CacheHit:
+        """Longest cached prefix for ``key``, up to ``prefix_tokens``.
+
+        A hit charges the owning tier's read path and promotes the
+        entry to the top tier (it is hot).  ``prefix_tokens`` is the
+        shareable prefix length the *request* brings — the hit is the
+        token-granular minimum of that and what the cache holds.
+        """
+        self.n_lookups += 1
+        entry = self._index.get(key)
+        if entry is not None and self.eviction.expired(entry, now):
+            self._remove(entry)
+            self.n_expired += 1
+            entry = None
+        if entry is None or prefix_tokens <= 0:
+            return _MISS
+        hit_tokens = min(entry.tokens, prefix_tokens)
+        tier = self.tiers[entry.tier]
+        nbytes = hit_tokens * entry.bytes_per_token
+        read_s = tier_access_time(nbytes, tier.spec.read_gb_s,
+                                  tier.latency_s)
+        tier.hits += 1
+        tier.bytes_read += nbytes
+        tier.read_s += read_s
+        entry.last_access_s = now
+        entry.n_hits += 1
+        self.n_hits += 1
+        self.tokens_hit += hit_tokens
+        self._promote(entry, now)
+        return CacheHit(hit_tokens, read_s, tier.spec.name)
+
+    def put(self, key, tokens: int, bytes_per_token: float,
+            method_name: str, now: float) -> None:
+        """Insert or extend ``key``'s cached prefix to ``tokens``.
+
+        New entries land in the top tier; an existing entry is extended
+        in place (its tier pays the write for the added bytes).  A
+        *shrinking* put (a re-put under a more compressed method) keeps
+        the longer cached prefix.  Writeback is asynchronous in the
+        modelled system — write time accrues to tier counters, not to
+        any request's completion.
+        """
+        if tokens < 1 or bytes_per_token <= 0:
+            return
+        entry = self._index.get(key)
+        if entry is None:
+            entry = CacheEntry(key=key, tokens=tokens,
+                               bytes_per_token=bytes_per_token,
+                               method_name=method_name, tier=0,
+                               seq=next(self._seq), created_s=now,
+                               last_access_s=now)
+            self._index[key] = entry
+            self.tiers[0].entries[key] = entry
+            self._charge_write(self.tiers[0], entry.nbytes)
+        else:
+            if tokens <= entry.tokens:
+                entry.last_access_s = now
+                return
+            tier = self.tiers[entry.tier]
+            old_bytes = entry.nbytes
+            entry.tokens = tokens
+            entry.bytes_per_token = bytes_per_token
+            entry.method_name = method_name
+            entry.last_access_s = now
+            tier.used_bytes -= old_bytes
+            self._charge_write(tier, entry.nbytes)
+        self._enforce_capacity(now)
+
+    def occupancy(self, tier_name: str) -> float:
+        """Fill fraction of the named tier (0 when the tier is absent)."""
+        for tier in self.tiers:
+            if tier.spec.name == tier_name:
+                return tier.occupancy()
+        return 0.0
+
+    def pool_occupancy(self) -> float:
+        """Fill fraction of the *bottom* tier (the pooled store in the
+        built-in hierarchy) — the congestion-selection signal."""
+        return self.tiers[-1].occupancy()
+
+    # -- internals -------------------------------------------------------------
+
+    def _charge_write(self, tier: TierState, nbytes: float) -> None:
+        tier.used_bytes += nbytes
+        tier.bytes_written += nbytes
+        tier.write_s += tier_access_time(nbytes, tier.spec.write_gb_s,
+                                         tier.latency_s)
+
+    def _remove(self, entry: CacheEntry) -> None:
+        tier = self.tiers[entry.tier]
+        del tier.entries[entry.key]
+        tier.used_bytes -= entry.nbytes
+        del self._index[entry.key]
+
+    def _promote(self, entry: CacheEntry, now: float) -> None:
+        """Move a hit entry to the top tier (if it fits there at all)."""
+        if entry.tier == 0 \
+                or entry.nbytes > self.tiers[0].spec.capacity_bytes:
+            return
+        old = self.tiers[entry.tier]
+        del old.entries[entry.key]
+        old.used_bytes -= entry.nbytes
+        entry.tier = 0
+        self.tiers[0].entries[entry.key] = entry
+        self._charge_write(self.tiers[0], entry.nbytes)
+        self._enforce_capacity(now)
+
+    def _enforce_capacity(self, now: float) -> None:
+        """Expire, then demote/drop top-down until every tier fits."""
+        for tier in self.tiers:
+            expired = [e for e in tier.entries.values()
+                       if self.eviction.expired(e, now)]
+            for entry in expired:
+                self._remove(entry)
+                self.n_expired += 1
+        for ti, tier in enumerate(self.tiers):
+            while tier.used_bytes > tier.spec.capacity_bytes \
+                    and tier.entries:
+                victim = self.eviction.victim(
+                    list(tier.entries.values()), now)
+                tier.evictions += 1
+                del tier.entries[victim.key]
+                tier.used_bytes -= victim.nbytes
+                # Demote to the first lower tier the entry fits in at
+                # all — an entry larger than the DRAM tier can still
+                # land in the pool (the too-small tier is bypassed).
+                nxt = ti + 1
+                while nxt < len(self.tiers) and \
+                        victim.nbytes > self.tiers[nxt].spec.capacity_bytes:
+                    nxt += 1
+                if nxt < len(self.tiers):
+                    victim.tier = nxt
+                    self.tiers[nxt].entries[victim.key] = victim
+                    self._charge_write(self.tiers[nxt], victim.nbytes)
+                else:
+                    del self._index[victim.key]
+                    self.n_dropped += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups that found a cached prefix."""
+        if self.n_lookups == 0:
+            return 0.0
+        return self.n_hits / self.n_lookups
+
+    def stats(self) -> dict:
+        """JSON-ready counters (the ``kvstore`` summary section)."""
+        return {
+            "lookups": self.n_lookups,
+            "hits": self.n_hits,
+            "hit_rate": self.hit_rate(),
+            "prefill_tokens_skipped": self.tokens_hit,
+            "entries": len(self._index),
+            "dropped": self.n_dropped,
+            "expired": self.n_expired,
+            "tiers": {
+                tier.spec.name: {
+                    "capacity_gb": tier.spec.capacity_bytes / 1e9,
+                    "used_gb": tier.used_bytes / 1e9,
+                    "occupancy": tier.occupancy(),
+                    "entries": len(tier.entries),
+                    "hits": tier.hits,
+                    "hit_rate": (tier.hits / self.n_lookups
+                                 if self.n_lookups else 0.0),
+                    "bytes_read": tier.bytes_read,
+                    "bytes_written": tier.bytes_written,
+                    "read_s": tier.read_s,
+                    "write_s": tier.write_s,
+                    "evictions": tier.evictions,
+                }
+                for tier in self.tiers
+            },
+        }

@@ -1,0 +1,58 @@
+"""Analytic access timing for KV-store tiers (companion of transfer.py).
+
+The KV-store subsystem (:mod:`repro.kvstore`) models a three-tier cache
+hierarchy — GPU HBM, host DRAM, pooled store — each with its own read
+and write bandwidth.  This module is the single place where tier byte
+counts turn into seconds, mirroring how :mod:`repro.perfmodel.transfer`
+owns the NIC path: the store charges every read/write through
+:func:`tier_access_time`, and :func:`prefix_read_time` gives the
+analytic cost of re-reading a cached prefix under a method's wire
+format (what the engine pays instead of prefill compute on a hit).
+
+Tier bandwidths are **gigabytes per second** (memory-system convention;
+the NIC path's ``network_gbps`` stays gigabits as before).  Each tier
+adds a fixed setup latency — DRAM staging crosses PCIe, the pooled
+store an RDMA round trip — so tiny reads do not come out implausibly
+free.
+"""
+
+from __future__ import annotations
+
+from ..methods.base import Method
+from ..model.config import ModelSpec
+
+__all__ = ["TIER_LATENCY_S", "tier_access_time", "prefix_read_time"]
+
+#: Per-access setup latency by tier name (seconds): an HBM pointer
+#: chase, a PCIe doorbell + DMA setup, an RDMA get round trip.
+TIER_LATENCY_S: dict[str, float] = {
+    "hbm": 1e-6,
+    "dram": 10e-6,
+    "pool": 200e-6,
+}
+
+
+def tier_access_time(nbytes: float, bandwidth_gb_s: float,
+                     latency_s: float = 0.0) -> float:
+    """Seconds to move ``nbytes`` at a tier's bandwidth (GB/s)."""
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    if bandwidth_gb_s <= 0:
+        raise ValueError(
+            f"tier bandwidth must be positive, got {bandwidth_gb_s}"
+        )
+    if latency_s < 0:
+        raise ValueError(f"latency must be non-negative, got {latency_s}")
+    return latency_s + nbytes / (bandwidth_gb_s * 1e9)
+
+
+def prefix_read_time(spec: ModelSpec, method: Method, tokens: int,
+                     bandwidth_gb_s: float,
+                     latency_s: float = 0.0) -> float:
+    """Seconds to read a ``tokens``-long cached prefix of ``method``-
+    compressed KV from a tier — the cost a prefix-cache hit pays in
+    place of recomputing those tokens' prefill."""
+    if tokens < 0:
+        raise ValueError(f"tokens must be non-negative, got {tokens}")
+    nbytes = tokens * spec.kv_bytes_per_token(method.kv_wire_bytes_per_value)
+    return tier_access_time(nbytes, bandwidth_gb_s, latency_s)

@@ -56,6 +56,8 @@ import numpy as np
 from ..cluster.instances import DEFAULT_DECODE_COUNT, DEFAULT_PREFILL_FLEETS, \
     canonical_fleet, instance_for_gpu, parse_fleet_spec
 from ..cluster.parallelism import ReplicaResources, replica_resources
+from ..kvstore.selection import SelectionSpec, selection_spec
+from ..kvstore.spec import KVStoreSpec, kvstore_spec
 from ..methods.base import Method
 from ..model.config import ModelSpec
 from ..perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
@@ -123,6 +125,19 @@ class ClusterConfig:
     #: Dispatch/placement policy pair; ``None`` keeps the paper's
     #: §7.1 pair (``splitwise`` + ``shortest_queue``).
     scheduler: SchedulerSpec | None = None
+    #: Tiered KV store for prefix caching (``None`` — the default — is
+    #: no store at all: the engine takes the historical code path and
+    #: produces byte-identical results).  Accepts a
+    #: :class:`~repro.kvstore.KVStoreSpec` or grammar string
+    #: (``"tiered?dram_gb=8.0+lfu"``).
+    kvstore: KVStoreSpec | None = None
+    #: Per-request compression-selection policy; ``None`` keeps the
+    #: scenario's single method for every request.  Accepts a
+    #: :class:`~repro.kvstore.SelectionSpec` or grammar string
+    #: (``"slo_tier?tier2=hack_int4"``).  Configuring either ``kvstore``
+    #: or ``selection`` switches the engine to the KV-store-aware
+    #: prefill path (per-request methods stamped on records).
+    selection: SelectionSpec | None = None
 
     def __post_init__(self) -> None:
         if self.step_mode not in ("span", "token"):
@@ -137,6 +152,14 @@ class ClusterConfig:
             # construction).
             object.__setattr__(self, "scheduler",
                                scheduler_spec(self.scheduler))
+        if self.kvstore is not None \
+                and not isinstance(self.kvstore, KVStoreSpec):
+            object.__setattr__(self, "kvstore",
+                               kvstore_spec(self.kvstore))
+        if self.selection is not None \
+                and not isinstance(self.selection, SelectionSpec):
+            object.__setattr__(self, "selection",
+                               selection_spec(self.selection))
         if self.prefill_fleets is not None:
             if not self.prefill_fleets:
                 raise ValueError("prefill_fleets must name >= 1 fleet")
@@ -198,6 +221,8 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
                     activation_overhead: float | None = None,
                     step_mode: str | None = None,
                     scheduler=None,
+                    kvstore=None,
+                    selection=None,
                     ) -> ClusterConfig:
     """The paper's §7.1 deployment for ``model`` on ``prefill_gpu``.
 
@@ -214,6 +239,9 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
     a single plain-GPU fleet.  ``scheduler`` is a
     :class:`~repro.sim.scheduling.SchedulerSpec` or grammar string
     (``"round_robin+best_fit"``); ``None`` keeps the paper's pair.
+    ``kvstore``/``selection`` plumb straight through to the matching
+    :class:`ClusterConfig` fields (spec objects or grammar strings;
+    ``None`` keeps the historical no-KV-store path).
     """
     fleets = parse_fleet_spec(prefill_gpu)
     dec_gpu = decode_gpu.upper()
@@ -247,6 +275,10 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
         extra["step_mode"] = step_mode
     if scheduler is not None:
         extra["scheduler"] = scheduler_spec(scheduler)
+    if kvstore is not None:
+        extra["kvstore"] = kvstore_spec(kvstore)
+    if selection is not None:
+        extra["selection"] = selection_spec(selection)
     if len(resolved) > 1:
         extra["prefill_fleets"] = tuple(resolved)
         gpu_label = canonical_fleet(tuple(resolved))
@@ -314,6 +346,14 @@ class SimulationResult:
     #: Requests refused admission by a non-swapping placement policy
     #: (they prefill but never decode and are absent from ``requests``).
     n_rejected: int = 0
+    #: KV-store counters (:meth:`repro.kvstore.TieredKVStore.stats`):
+    #: hit rate, prefill tokens skipped, per-tier occupancy/bytes/
+    #: evictions.  ``None`` unless the run had a ``kvstore`` configured.
+    kvstore_stats: dict | None = None
+    #: ``{slo_tier: {method_name: n_requests}}`` — which compression
+    #: method the selection policy chose, per service class.  ``None``
+    #: unless the run had a ``selection`` policy configured.
+    selection_mix: dict | None = None
 
     def avg_jct(self) -> float:
         """Mean job completion time across all requests (Fig. 9 metric)."""
@@ -440,13 +480,15 @@ class SimulationResult:
 
         Schema v2: the v1 keys are unchanged; TTFT/TBT percentiles,
         normalized latency and SLO attainment/goodput (evaluated at the
-        given SLO point) are appended.
+        given SLO point) are appended.  Schema v3 appends ``kvstore``
+        and/or ``selection_mix`` — but only when the run configured
+        those layers, so every pre-existing summary is unchanged.
         """
         jcts = sorted(r.jct for r in self.requests)
         ttfts = sorted(self.ttfts())
         gaps = self.tbt_gaps()
         attainment = self.slo_attainment(ttft_slo_s, tbt_slo_s)
-        return {
+        out = {
             "n_requests": len(jcts),
             "avg_jct_s": self.avg_jct(),
             "p50_jct_s": self._nearest_rank(jcts, 50),
@@ -471,6 +513,11 @@ class SimulationResult:
             "slo_attainment": attainment,
             "slo_goodput_rps": self._goodput(attainment),
         }
+        if self.kvstore_stats is not None:
+            out["kvstore"] = self.kvstore_stats
+        if self.selection_mix is not None:
+            out["selection_mix"] = self.selection_mix
+        return out
 
 
 class Simulator:
@@ -527,6 +574,19 @@ class Simulator:
         self.dispatch.bind(self)
         self.placement.bind(self)
 
+        # KV-store / compression-selection layer.  When neither is
+        # configured, ``_kv_enabled`` is False and every hot-path method
+        # below takes its historical branch — byte-identical results.
+        self.kvstore = config.kvstore.build() \
+            if config.kvstore is not None else None
+        self.selection = config.selection.build() \
+            if config.selection is not None else None
+        self._kv_enabled = (self.kvstore is not None
+                            or self.selection is not None)
+        self._selection_mix: dict[str, dict[str, int]] = {}
+        if self.selection is not None:
+            self.selection.bind(self)
+
     # -- public API ----------------------------------------------------------
 
     def run(self) -> SimulationResult:
@@ -541,11 +601,18 @@ class Simulator:
             for d in self._decode
         )
         self._finished.sort(key=lambda r: r.request_id)
+        kv_stats = self.kvstore.stats() if self.kvstore is not None else None
+        mix = None
+        if self.selection is not None:
+            mix = {tier: dict(sorted(counts.items()))
+                   for tier, counts in sorted(self._selection_mix.items())}
         return SimulationResult(requests=self._finished,
                                 peak_memory_fraction=peak,
                                 n_swapped=self._n_swapped,
                                 config=self.config,
-                                n_rejected=len(self._rejected))
+                                n_rejected=len(self._rejected),
+                                kvstore_stats=kv_stats,
+                                selection_mix=mix)
 
     # -- event handlers --------------------------------------------------------
 
@@ -585,22 +652,86 @@ class Simulator:
             total_tokens += nxt.trace.input_len
 
         replica.current = batch
-        joint = prefill_time(self.spec, replica.res, total_tokens,
+        if self._kv_enabled:
+            batch_s = self._kv_prefill_batch(now, replica, batch)
+        else:
+            joint = prefill_time(self.spec, replica.res, total_tokens,
+                                 self.method, self.calib)
+            per_request = [
+                prefill_time(self.spec, replica.res, req.trace.input_len,
+                             self.method, self.calib)
+                for req in batch
+            ]
+            batch_s = (joint.linear_s + joint.quantize_s
+                       + sum(b.attention_s for b in per_request))
+            for req, own in zip(batch, per_request):
+                req.prefill_start = now
+                # Each request experiences the whole pass; the
+                # quantization share is its own (it is per-token work).
+                req.prefill_s = batch_s - own.quantize_s
+                req.quant_s = own.quantize_s
+        self._push(now + batch_s, "prefill_done", (idx, batch))
+
+    def _kv_prefill_batch(self, now: float, replica: _PrefillReplica,
+                          batch: list) -> float:
+        """KV-store-aware prefill pass: select, look up, skip, charge.
+
+        Per request: the selection policy (or the scenario method)
+        fixes its compression method; the prefix cache is probed for
+        the request's shareable prefix (clamped so at least one prompt
+        token always prefills), and the matched fraction of prefill
+        compute is *skipped* — replaced by the owning tier's read time.
+        The pass then costs the joint linear time of the summed
+        *effective* (uncached) tokens, each request's own attention and
+        quantization on its effective tokens, plus the tier reads.  A
+        request's own read accrues to its ``comm`` bucket; everything
+        else it waits through is ``prefill`` (same convention as the
+        historical path).  Note the decode-side batch cost model keeps
+        the scenario method (see :mod:`repro.kvstore.selection`).
+        """
+        plan = []
+        total_eff = 0
+        for req in batch:
+            method = self.selection.choose(now, req, self) \
+                if self.selection is not None else self.method
+            req.method = method
+            if self.selection is not None:
+                tier_key = str(req.trace.slo_tier)
+                counts = self._selection_mix.setdefault(tier_key, {})
+                counts[method.name] = counts.get(method.name, 0) + 1
+            if self.kvstore is not None:
+                prefix = min(req.trace.prefix_len, req.trace.input_len - 1)
+                hit = self.kvstore.lookup(self._cache_key(req), prefix, now)
+                req.prefix_hit_tokens = hit.tokens
+                req.cache_read_s = hit.read_s
+                req.cache_tier = hit.tier
+            eff = req.trace.input_len - req.prefix_hit_tokens
+            total_eff += eff
+            plan.append((req, method, eff))
+        joint = prefill_time(self.spec, replica.res, total_eff,
                              self.method, self.calib)
         per_request = [
-            prefill_time(self.spec, replica.res, req.trace.input_len,
-                         self.method, self.calib)
-            for req in batch
+            prefill_time(self.spec, replica.res, eff, method, self.calib)
+            for _, method, eff in plan
         ]
-        batch_s = (joint.linear_s + joint.quantize_s
-                   + sum(b.attention_s for b in per_request))
-        for req, own in zip(batch, per_request):
+        batch_s = (joint.linear_s
+                   + sum(b.quantize_s for b in per_request)
+                   + sum(b.attention_s for b in per_request)
+                   + sum(req.cache_read_s for req, _, _ in plan))
+        for (req, _, _), own in zip(plan, per_request):
             req.prefill_start = now
-            # Each request experiences the whole pass; the quantization
-            # share is its own (it is per-token work).
-            req.prefill_s = batch_s - own.quantize_s
+            req.prefill_s = batch_s - own.quantize_s - req.cache_read_s
             req.quant_s = own.quantize_s
-        self._push(now + batch_s, "prefill_done", (idx, batch))
+            req.comm_s += req.cache_read_s
+        return batch_s
+
+    def _cache_key(self, req: SimRequest):
+        """Prefix-cache key: the session for multi-turn requests (turns
+        of one conversation share and extend one entry), else a
+        per-request key — never hit, but it occupies capacity and
+        churns eviction exactly like a real single-shot tenant."""
+        sid = req.trace.session_id
+        return sid if sid >= 0 else ("r", req.trace.request_id)
 
     def _on_prefill_done(self, now: float, payload) -> None:
         idx, batch = payload
@@ -609,6 +740,16 @@ class Simulator:
         for req in batch:
             replica.queued_tokens -= req.trace.input_len
             req.prefill_end = now
+        if self.kvstore is not None:
+            # Write back the freshly computed (compressed) prompt KV —
+            # before any same-instant next batch probes the cache, so a
+            # follow-up session turn already queued here can hit it.
+            for req in batch:
+                self.kvstore.put(
+                    self._cache_key(req), req.trace.input_len,
+                    self.spec.kv_bytes_per_token(
+                        req.method.kv_wire_bytes_per_value),
+                    req.method.name, now)
         if replica.queue:
             self._start_prefill(now, idx)
         for req in batch:
@@ -666,7 +807,10 @@ class Simulator:
         req.decode_replica = target
         req.reserved_bytes = reserve
 
-        nbytes = kv_wire_bytes(self.spec, self.method, req.trace.input_len)
+        # A prefix hit already paid its tier's read bandwidth; only the
+        # newly computed tokens' KV crosses the prefill NIC.
+        nbytes = kv_wire_bytes(self.spec, req.method or self.method,
+                               req.trace.input_len - req.prefix_hit_tokens)
         nic = self._prefill[req.prefill_replica]
         start = max(now, nic.nic_free_at)
         # Time spent waiting for the replica's NIC is KV-transmission
@@ -860,6 +1004,15 @@ class Simulator:
         req.finish = now
         decode.used_bytes -= req.reserved_bytes
         decode.queued_tokens -= req.trace.total_len
+        if self.kvstore is not None:
+            # Extend the session's entry with the generated tokens: the
+            # next turn's prompt embeds this whole conversation, so its
+            # shareable prefix is the full context, not just the prompt.
+            self.kvstore.put(
+                self._cache_key(req), req.trace.total_len,
+                self.spec.kv_bytes_per_token(
+                    req.method.kv_wire_bytes_per_value),
+                req.method.name, now)
         self._finished.append(req)
 
     def _admit_pending(self, now: float) -> None:
@@ -877,9 +1030,11 @@ class Simulator:
     # -- helpers ----------------------------------------------------------------
 
     def _request_bytes(self, req: SimRequest) -> float:
-        """Decode-memory reservation: KV for the request's full context."""
+        """Decode-memory reservation: KV for the request's full context
+        (at the request's own selected method when one was chosen)."""
+        method = req.method or self.method
         return req.trace.total_len * self.spec.kv_bytes_per_token(
-            self.method.kv_mem_bytes_per_value
+            method.kv_mem_bytes_per_value
         )
 
     def _push(self, time: float, kind: str, payload) -> None:

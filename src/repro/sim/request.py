@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..methods.base import Method
 from ..workload.traces import TraceRequest
 
 __all__ = ["SimRequest", "BUCKETS", "nearest_rank"]
@@ -63,6 +64,19 @@ class SimRequest:
     dequant_s: float = 0.0
     approx_s: float = 0.0
     kv_access_s: float = 0.0   # subset of decode_s: KV reads over HBM
+
+    #: KV-store integration (set only when the simulator runs with a
+    #: kvstore and/or selection policy configured; ``method`` is the
+    #: per-request compression method the selection layer chose — the
+    #: scenario method when no selection policy is active).
+    method: Method | None = None
+    #: Prompt tokens whose KV the prefix cache served (prefill skipped).
+    prefix_hit_tokens: int = 0
+    #: Time spent reading the cached prefix out of its tier (accrues to
+    #: the ``comm`` bucket).
+    cache_read_s: float = 0.0
+    #: Tier name the prefix hit landed in (None on miss / no store).
+    cache_tier: str | None = None
 
     #: Whether the KV took the CPU-swap detour (§5.1 step 6).
     swapped: bool = False
@@ -226,9 +240,14 @@ class SimRequest:
         Keys are stable: downstream tooling (``repro.api.artifact``,
         ``repro.cli export``) depends on them.  Schema v2 adds the
         serving metrics (``ttft_s``, ``tbt_*``, ``normalized_latency_s``)
-        on top of the v1 keys, which are unchanged.
+        on top of the v1 keys, which are unchanged.  When the simulator
+        runs with a KV store / selection policy (schema v3 runs), four
+        extra keys appear — ``method_selected``, ``prefix_hit_tokens``,
+        ``cache_read_s``, ``cache_tier`` — on every record (the engine
+        stamps ``method`` on all requests in that mode, so record shape
+        stays uniform within a run).
         """
-        return {
+        rec = {
             "request_id": self.request_id,
             "arrival_s": self.arrival,
             "input_len": self.trace.input_len,
@@ -246,6 +265,12 @@ class SimRequest:
             if self.tbt_gaps().size else 0.0,
             "normalized_latency_s": self.normalized_latency,
         }
+        if self.method is not None:
+            rec["method_selected"] = self.method.name
+            rec["prefix_hit_tokens"] = self.prefix_hit_tokens
+            rec["cache_read_s"] = self.cache_read_s
+            rec["cache_tier"] = self.cache_tier
+        return rec
 
     def ratios(self, include_queue: bool = False) -> dict[str, float]:
         """Bucket → fraction.

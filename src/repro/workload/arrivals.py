@@ -89,10 +89,25 @@ class ArrivalProcess:
     description: str = ""
     #: Parameter table: name -> :class:`ArrivalParam` (floats only).
     params: dict[str, ArrivalParam] = {}
+    #: Trace-shaping families (``sessions``) set this and implement
+    #: :meth:`build_trace` instead of :meth:`sample_arrivals`: their
+    #: request *lengths* depend on prior requests (shared prefixes), so
+    #: :func:`~repro.workload.traces.generate_trace` delegates the whole
+    #: trace to the family rather than just the arrival times.
+    builds_trace: bool = False
 
     def sample_arrivals(self, rng: np.random.Generator, rps: float,
                         n: int, **params) -> np.ndarray:
         """``n`` nondecreasing absolute arrival times (seconds > 0)."""
+        raise NotImplementedError
+
+    def build_trace(self, rng: np.random.Generator, rps: float, n: int,
+                    dataset, max_context: int | None, slo_tier: int,
+                    **params) -> tuple[list[dict], int, int]:
+        """Whole-trace hook for ``builds_trace`` families: returns
+        (records, n_input_clipped, n_output_clipped), where each record
+        holds the :class:`~repro.workload.traces.TraceRequest` fields
+        except ``request_id`` (assigned after the arrival-order sort)."""
         raise NotImplementedError
 
     def validate(self, **params) -> None:
@@ -412,3 +427,99 @@ class DiurnalArrivals(ArrivalProcess):
                 times[i] = t
                 i += 1
         return times
+
+
+@register_arrival("sessions")
+class SessionArrivals(ArrivalProcess):
+    description = ("multi-turn sessions sharing growing prefixes "
+                   "(arrivals Poisson per session, think-time gaps)")
+    params = {
+        "turns": ArrivalParam(4.0, "mean turns per session (>= 1)"),
+        "think_time": ArrivalParam(
+            30.0, "mean think time between turns, seconds"),
+        "prefix_growth": ArrivalParam(
+            0.3, "follow-up new tokens as a fraction of a sampled input"),
+        "tiers": ArrivalParam(
+            1.0, "SLO classes, assigned uniformly per session"),
+    }
+    builds_trace = True
+
+    def validate(self, *, turns, think_time, prefix_growth, tiers):
+        if turns < 1:
+            raise ValueError(f"sessions turns must be >= 1, got {turns}")
+        if think_time <= 0:
+            raise ValueError(
+                f"sessions think_time must be positive, got {think_time}"
+            )
+        if not 0 < prefix_growth <= 1:
+            raise ValueError(
+                f"sessions prefix_growth must be in (0, 1], got "
+                f"{prefix_growth}"
+            )
+        if tiers < 1 or tiers != int(tiers):
+            raise ValueError(
+                f"sessions tiers must be a positive integer, got {tiers}"
+            )
+
+    def sample_arrivals(self, rng, rps, n, **params):
+        raise ValueError(
+            "the 'sessions' family shapes whole traces (each turn's "
+            "input embeds the prior conversation), so bare arrival "
+            "times are not defined; generate it via generate_trace or "
+            "a Scenario"
+        )
+
+    def build_trace(self, rng, rps, n, dataset, max_context, slo_tier, *,
+                    turns, think_time, prefix_growth, tiers):
+        """Sessions start as a Poisson process at rate ``rps / turns``
+        (so the long-run *request* rate stays ~``rps``); each runs
+        ``1 + Poisson(turns - 1)`` turns separated by exponential think
+        times.  Turn ``t+1``'s prompt is the full prior conversation
+        (inputs + outputs — the shareable prefix) plus fresh tokens
+        sized as ``prefix_growth`` of a freshly-sampled dataset input.
+        ``max_context`` clips as in :func:`generate_trace` and trims
+        ``prefix_len`` so at least one new token always prefills."""
+        session_rate = rps / turns
+        records: list[dict] = []
+        n_in_clipped = n_out_clipped = 0
+        t_start = 0.0
+        sid = 0
+        while len(records) < n:
+            t_start += rng.exponential(1.0 / session_rate)
+            n_turns = 1 + int(rng.poisson(turns - 1.0))
+            tier = slo_tier + int(rng.integers(int(tiers)))
+            t = t_start
+            context = 0        # prior conversation tokens (in + out)
+            for turn in range(n_turns):
+                if len(records) >= n:
+                    break
+                in_sample, out_sample = dataset.sample_request_lengths(
+                    1, rng)
+                output_len = int(out_sample[0])
+                if turn == 0:
+                    prefix = 0
+                    input_len = int(in_sample[0])
+                else:
+                    prefix = context
+                    input_len = prefix + max(
+                        1, int(round(int(in_sample[0]) * prefix_growth)))
+                if max_context is not None:
+                    if output_len > max_context - 1:
+                        output_len = max_context - 1
+                        n_out_clipped += 1
+                    if input_len > max_context - output_len:
+                        input_len = max_context - output_len
+                        prefix = min(prefix, input_len - 1)
+                        n_in_clipped += 1
+                records.append({
+                    "arrival_s": float(t),
+                    "input_len": input_len,
+                    "output_len": output_len,
+                    "session_id": sid,
+                    "prefix_len": prefix,
+                    "slo_tier": tier,
+                })
+                context = input_len + output_len
+                t += rng.exponential(think_time)
+            sid += 1
+        return records, n_in_clipped, n_out_clipped

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .arrivals import ArrivalSpec, arrival_spec
+from .arrivals import ArrivalSpec, arrival_spec, get_arrival_process
 from .datasets import DatasetSpec, get_dataset
 
 __all__ = ["TraceRequest", "Trace", "generate_trace", "capped_trace",
@@ -24,12 +24,26 @@ __all__ = ["TraceRequest", "Trace", "generate_trace", "capped_trace",
 
 @dataclass(frozen=True)
 class TraceRequest:
-    """One request of a workload trace."""
+    """One request of a workload trace.
+
+    ``session_id``/``prefix_len`` carry the multi-turn structure of
+    session workloads: requests of one conversation share a session id,
+    and ``prefix_len`` is how many leading prompt tokens repeat the
+    prior conversation (the KV-store-shareable prefix; always <
+    ``input_len`` — at least one token is new).  ``slo_tier`` is the
+    request's service class (0 = strictest), what service-aware
+    compression selection keys on.  The defaults are what every
+    single-shot trace has always meant, so existing construction,
+    serialization and golden runs are unchanged.
+    """
 
     request_id: int
     arrival_s: float
     input_len: int
     output_len: int
+    session_id: int = -1
+    prefix_len: int = 0
+    slo_tier: int = 0
 
     @property
     def total_len(self) -> int:
@@ -65,6 +79,7 @@ def generate_trace(
     seed: int = 0,
     max_context: int | None = None,
     arrival: str | ArrivalSpec = "poisson",
+    slo_tier: int = 0,
 ) -> Trace:
     """Sample a trace of ``n_requests`` from ``dataset``.
 
@@ -93,7 +108,13 @@ def generate_trace(
         ``"mmpp?burst=4,duty=0.1"``, …) or an
         :class:`~repro.workload.arrivals.ArrivalSpec`.  The default
         Poisson process reproduces the historical trace stream
-        bit-for-bit.
+        bit-for-bit.  Trace-*shaping* families (``"sessions?turns=…"``)
+        build the whole trace — multi-turn requests whose prompts embed
+        the prior conversation as a shared prefix.
+    slo_tier:
+        Service class stamped on every request (session workloads may
+        add per-session classes on top; see the ``sessions`` family's
+        ``tiers`` parameter).
     """
     if rps <= 0:
         raise ValueError(f"rps must be positive, got {rps}")
@@ -104,9 +125,23 @@ def generate_trace(
             f"max_context must be >= 2 (one prompt token, one output "
             f"token), got {max_context}"
         )
+    if slo_tier < 0:
+        raise ValueError(f"slo_tier must be >= 0, got {slo_tier}")
     spec = dataset if isinstance(dataset, DatasetSpec) else get_dataset(dataset)
     process = arrival_spec(arrival)
     rng = np.random.default_rng(seed)
+    family = get_arrival_process(process.kind)
+    if family.builds_trace:
+        records, n_in, n_out = family.build_trace(
+            rng, rps, n_requests, spec, max_context, slo_tier,
+            **process.resolved_params())
+        records.sort(key=lambda r: r["arrival_s"])
+        return Trace(
+            (TraceRequest(request_id=i, **rec)
+             for i, rec in enumerate(records)),
+            n_input_clipped=n_in,
+            n_output_clipped=n_out,
+        )
     arrivals = process.sample(rng, rps, n_requests)
     in_lens, out_lens = spec.sample_request_lengths(n_requests, rng)
     n_in_clipped = n_out_clipped = 0
@@ -119,7 +154,8 @@ def generate_trace(
         n_in_clipped = int(np.count_nonzero(raw_in > in_lens))
     return Trace(
         (TraceRequest(request_id=i, arrival_s=float(arrivals[i]),
-                      input_len=int(in_lens[i]), output_len=int(out_lens[i]))
+                      input_len=int(in_lens[i]), output_len=int(out_lens[i]),
+                      slo_tier=slo_tier)
          for i in range(n_requests)),
         n_input_clipped=n_in_clipped,
         n_output_clipped=n_out_clipped,
@@ -139,8 +175,10 @@ def merge_traces(*traces: list[TraceRequest]) -> Trace:
     Requests are merged by arrival time (ties keep the input order,
     tenant-by-tenant) and renumbered ``0..n-1`` so the result is a
     valid simulator trace; clip counts sum over the tenants that carry
-    them.  Each tenant's trace is typically generated from a different
-    dataset and/or arrival process::
+    them, and session ids are remapped to stay unique across tenants
+    (two session traces both starting at session 0 must not alias in a
+    prefix cache).  Each tenant's trace is typically generated from a
+    different dataset and/or arrival process::
 
         merge_traces(
             generate_trace("cocktail", 0.5, 60, seed=1),
@@ -149,8 +187,18 @@ def merge_traces(*traces: list[TraceRequest]) -> Trace:
     """
     if not traces:
         raise ValueError("merge_traces needs at least one trace")
-    merged = sorted((r for trace in traces for r in trace),
-                    key=lambda r: r.arrival_s)
+    remapped: list[TraceRequest] = []
+    next_sid = 0
+    for trace in traces:
+        sids = sorted({r.session_id for r in trace if r.session_id >= 0})
+        mapping = {s: next_sid + i for i, s in enumerate(sids)}
+        next_sid += len(sids)
+        for r in trace:
+            if r.session_id >= 0:
+                r = dataclasses.replace(r,
+                                        session_id=mapping[r.session_id])
+            remapped.append(r)
+    merged = sorted(remapped, key=lambda r: r.arrival_s)
     return Trace(
         (dataclasses.replace(r, request_id=i)
          for i, r in enumerate(merged)),

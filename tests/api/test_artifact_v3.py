@@ -1,0 +1,226 @@
+"""Schema v3 artifacts (trace block, kvstore/selection sections) and
+the kvstore/selection plumbing through Scenario, Sweep, Runner, CLI."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    Runner,
+    RunArtifact,
+    Scenario,
+    Sweep,
+    compare_artifacts,
+)
+from repro.cli import main
+
+KV = Scenario(methods=("hack",), n_requests=24, seed=3, rps=2.0,
+              arrival="sessions?think_time=20.0,turns=4.0",
+              kvstore="tiered?dram_gb=8.0", selection="slo_tier")
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return Runner().run(KV)
+
+
+@pytest.fixture(scope="module")
+def plain_artifact():
+    return Runner().run(Scenario(methods=("baseline",), dataset="imdb",
+                                 n_requests=12, seed=3))
+
+
+class TestTraceBlock:
+    def test_every_artifact_carries_clip_counts(self, plain_artifact):
+        assert plain_artifact.trace == {"n_input_clipped": 0,
+                                        "n_output_clipped": 0}
+
+    def test_clipping_surfaces(self):
+        art = Runner().run(Scenario(methods=("baseline",), dataset="arxiv",
+                                    model="F", n_requests=15, seed=1))
+        assert art.trace["n_input_clipped"] > 0
+        title = art.summary_table().render().splitlines()[0]
+        assert f"clipped: in={art.trace['n_input_clipped']}" in title
+
+    def test_unclipped_title_stays_clean(self, plain_artifact):
+        title = plain_artifact.summary_table().render().splitlines()[0]
+        assert "clipped" not in title
+
+    def test_round_trips(self, plain_artifact):
+        loaded = RunArtifact.from_json(plain_artifact.to_json())
+        assert loaded.trace == plain_artifact.trace
+
+    def test_compare_flags_clip_count_drift(self, plain_artifact):
+        data = json.loads(plain_artifact.to_json())
+        data["trace"]["n_input_clipped"] = 7
+        drifted = RunArtifact.from_dict(data)
+        diff = compare_artifacts(plain_artifact, drifted)
+        assert not diff["equal"]
+        assert diff["trace"]["n_input_clipped"] == \
+            {"a": 0, "b": 7, "rel_diff": 1.0}
+
+    def test_v2_artifact_still_loads(self, plain_artifact):
+        data = json.loads(plain_artifact.to_json())
+        data["schema_version"] = 2
+        del data["trace"]
+        loaded = RunArtifact.from_dict(data)
+        assert loaded.trace is None
+        assert compare_artifacts(plain_artifact, loaded)["equal"]
+
+
+class TestKVStoreSections:
+    def test_summary_sections_round_trip(self, artifact):
+        summary = artifact.methods["hack"].summary
+        assert summary["kvstore"]["hit_rate"] > 0
+        assert summary["selection_mix"]
+        loaded = RunArtifact.from_json(artifact.to_json())
+        assert loaded.methods["hack"].summary["kvstore"] == \
+            summary["kvstore"]
+        assert compare_artifacts(artifact, loaded)["equal"]
+
+    def test_requests_carry_selection_keys(self, artifact):
+        rec = artifact.methods["hack"].requests[0]
+        assert {"method_selected", "prefix_hit_tokens", "cache_read_s",
+                "cache_tier"} <= set(rec)
+
+    def test_plain_runs_stay_v2_shaped(self, plain_artifact):
+        summary = plain_artifact.methods["baseline"].summary
+        assert "kvstore" not in summary
+        assert "selection_mix" not in summary
+        assert "method_selected" not in \
+            plain_artifact.methods["baseline"].requests[0]
+
+    def test_compare_diffs_kvstore_metrics(self, artifact):
+        other = Runner().run(KV.replace(
+            kvstore="tiered?hbm_gb=0.05,dram_gb=0.1,pool_gb=0.2"))
+        diff = compare_artifacts(artifact, other)
+        assert not diff["equal"]
+        assert any(k.startswith("kvstore.") for k in diff["methods"]["hack"])
+
+    def test_compare_flags_presence_mismatch(self, artifact):
+        stripped = json.loads(artifact.to_json())
+        for run in stripped["methods"].values():
+            run["summary"].pop("kvstore")
+        diff = compare_artifacts(artifact, RunArtifact.from_dict(stripped))
+        assert diff["methods"]["hack"]["kvstore"] == \
+            {"a": True, "b": False, "rel_diff": 1.0}
+
+    def test_serial_and_parallel_runs_byte_identical(self):
+        two = KV.replace(methods=("hack", "baseline"))
+        serial = Runner().run(two).to_json()
+        parallel = Runner(workers=2).run(two).to_json()
+        assert serial == parallel
+
+
+class TestScenarioFields:
+    def test_canonicalized_and_round_tripped(self):
+        s = Scenario(kvstore="tiered?pool_gb=64,dram_gb=8+lfu",
+                     selection="congestion?lo=0.4,hi=0.8")
+        assert s.kvstore == "tiered?dram_gb=8.0,pool_gb=64.0+lfu"
+        assert s.selection == "congestion?hi=0.8,lo=0.4"
+        loaded = Scenario.from_json(s.to_json())
+        assert (loaded.kvstore, loaded.selection) == \
+            (s.kvstore, s.selection)
+        assert "kvstore=tiered?dram_gb=8.0,pool_gb=64.0+lfu" \
+            in s.describe()
+
+    def test_default_omits_fields(self):
+        d = Scenario().to_dict()
+        assert "kvstore" not in d and "selection" not in d
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(kvstore="tiered?dram_gb=-1")
+        with pytest.raises(ValueError):
+            Scenario(selection="congestion?hi=2.0")
+
+    def test_unknown_families_kept_verbatim(self):
+        """Artifacts referencing custom registrations must load."""
+        s = Scenario(kvstore="my_store?x=1", selection="my_policy")
+        assert s.kvstore == "my_store?x=1"
+        assert s.selection == "my_policy"
+
+
+class TestSweepAxes:
+    def test_kvstore_param_axis(self):
+        sweep = Sweep(KV, axes={"kvstore.dram_gb": [0.5, 8.0]})
+        cells = sweep.expand()
+        assert [c.kvstore for c in cells] == \
+            ["tiered?dram_gb=0.5", "tiered?dram_gb=8.0"]
+        assert all(c.selection == KV.selection for c in cells)
+
+    def test_axis_on_storeless_base_implies_tiered(self):
+        sweep = Sweep(Scenario(methods=("hack",)),
+                      axes={"kvstore.pool_gb": [64.0]})
+        assert sweep.expand()[0].kvstore == "tiered?pool_gb=64.0"
+
+    def test_axis_preserves_eviction(self):
+        base = KV.replace(kvstore="tiered+lfu")
+        cell, = Sweep(base, axes={"kvstore.dram_gb": [2.0]}).expand()
+        assert cell.kvstore == "tiered?dram_gb=2.0+lfu"
+
+    def test_bad_axis_params_rejected(self):
+        with pytest.raises(ValueError, match="dram_gb"):
+            Sweep(KV, axes={"kvstore.dram": [1.0]}).expand()
+        with pytest.raises(ValueError):
+            Sweep(KV, axes={"kvstore.": [1.0]})
+
+    def test_whole_spec_and_selection_axes(self):
+        sweep = Sweep(KV, axes={"kvstore": [None, "tiered?dram_gb=8.0"],
+                                "selection": [None, "slo_tier"]})
+        cells = sweep.expand()
+        assert len(cells) == 4
+        assert {(c.kvstore, c.selection) for c in cells} == {
+            (None, None), (None, "slo_tier"),
+            ("tiered?dram_gb=8.0", None),
+            ("tiered?dram_gb=8.0", "slo_tier")}
+
+
+CLI_KV = ["run", "--methods", "hack", "--n-requests", "16", "--rps", "2",
+          "--arrival", "sessions?turns=4,think_time=20",
+          "--kvstore", "tiered?dram_gb=8", "--selection", "slo_tier"]
+
+
+class TestCli:
+    def test_run_flags_reach_artifact(self, capsys):
+        assert main([*CLI_KV, "--json"]) == 0
+        artifact = json.loads(capsys.readouterr().out)
+        assert artifact["scenario"]["kvstore"] == "tiered?dram_gb=8.0"
+        assert artifact["scenario"]["selection"] == "slo_tier"
+        summary = artifact["methods"]["hack"]["summary"]
+        assert summary["kvstore"]["lookups"] == 16
+        assert summary["selection_mix"]
+        assert "trace" in artifact
+
+    def test_unknown_kvstore_is_clean_cli_error(self, capsys):
+        assert main(["run", "--methods", "hack", "--n-requests", "10",
+                     "--kvstore", "tierd"]) == 2
+        assert "tiered" in capsys.readouterr().err
+
+    def test_list_catalogs_kvstore_registries(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert "tiered" in catalog["kvstore_families"]
+        assert {"lru", "lfu", "ttl"} <= set(catalog["eviction_policies"])
+        assert catalog["selection_policies"]["congestion"]["signature"] \
+            .startswith("congestion?")
+        assert "kvstore" in catalog["experiments"]
+
+    def test_sweep_axis_keeps_selection_params_attached(self, tmp_path):
+        assert main(["sweep", "--methods", "hack", "--n-requests", "10",
+                     "--rps", "2",
+                     "--arrival", "sessions?turns=4,think_time=20",
+                     "--kvstore", "tiered",
+                     "--axis", "kvstore.dram_gb=0.5,8",
+                     "--axis", "selection=slo_tier,congestion?hi=0.8,lo=0.4",
+                     "--out", str(tmp_path)]) == 0
+        files = sorted(tmp_path.glob("*.json"))
+        assert len(files) == 4
+        combos = {(json.loads(p.read_text())["scenario"]["kvstore"],
+                   json.loads(p.read_text())["scenario"]["selection"])
+                  for p in files}
+        assert combos == {
+            ("tiered?dram_gb=0.5", "slo_tier"),
+            ("tiered?dram_gb=0.5", "congestion?hi=0.8,lo=0.4"),
+            ("tiered?dram_gb=8.0", "slo_tier"),
+            ("tiered?dram_gb=8.0", "congestion?hi=0.8,lo=0.4")}
