@@ -6,17 +6,20 @@ simulated decode tokens per wall-clock second, the speedup, and a
 differential check that both modes produce the same results.  A second
 measurement runs one method with the tiered KV store enabled on the
 same single-shot trace — every lookup misses, so the tokens/s delta is
-the store's pure bookkeeping overhead on the hot path.
+the store's pure bookkeeping overhead on the hot path.  A third
+measurement arms the fault machinery with a plan whose only event sits
+far past the horizon — nothing ever fires, so the wall-clock delta is
+the fault path's pure overhead, and the results must stay identical.
 
 Plain script (no pytest fixtures) so CI can smoke it with only numpy
 installed::
 
     PYTHONPATH=src python benchmarks/bench_sim_throughput.py --scale 0.1 \
-        --bench-json BENCH_6.json
+        --bench-json BENCH_7.json
 
 ``--bench-json`` writes the numbers machine-readably (per-method
-tokens/s and span-vs-token speedup, plus the kvstore overhead block)
-for CI artifact upload.  There are deliberately no timing assertions —
+tokens/s and span-vs-token speedup, plus the kvstore and fault-path
+overhead blocks) for CI artifact upload.  There are deliberately no timing assertions —
 the speedup is printed for the record; only the span-vs-token
 equivalence is asserted.
 """
@@ -75,6 +78,7 @@ def run(scale: float = 1.0, dataset: str = "cocktail",
             "span_speedup": speedup,
         }
     record["kvstore_overhead"] = _kvstore_overhead(runner, base)
+    record["fault_overhead"] = _fault_overhead(runner, base)
     return table, record
 
 
@@ -103,6 +107,35 @@ def _kvstore_overhead(runner: Runner, base: Scenario) -> dict:
     }
 
 
+def _fault_overhead(runner: Runner, base: Scenario) -> dict:
+    """The fault machinery's cost when nothing ever fails.
+
+    An armed plan whose single event starts far beyond the horizon
+    exercises every per-event fault check (epoch guards, NIC factor,
+    flap draws are all still gated off) without injecting anything, so
+    the runs must produce byte-identical records and the wall-clock
+    delta is the fault path's pure overhead.
+    """
+    method = "hack"
+    plain = runner.run(base.replace(methods=(method,)))
+    armed = runner.run(base.replace(methods=(method,),
+                                    faults="nic_degrade?start=1e9,"
+                                           "duration=1.0",
+                                    recovery="retry"))
+    if plain.methods[method].requests != armed.methods[method].requests:
+        raise AssertionError(
+            "armed-but-idle fault plan changed simulation results")
+    wall_plain = plain.perf[method]["wall_s"]
+    wall_armed = armed.perf[method]["wall_s"]
+    return {
+        "method": method,
+        "wall_s_plain": wall_plain,
+        "wall_s_faults_armed": wall_armed,
+        "overhead_frac": wall_armed / wall_plain - 1.0
+        if wall_plain > 0 else 0.0,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0,
@@ -122,6 +155,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"kvstore lookup overhead (all-miss, {over['lookups']} lookups): "
           f"{over['overhead_frac'] * 100:.1f}% wall "
           f"({over['wall_s_plain']:.3f}s -> {over['wall_s_kvstore']:.3f}s)")
+    fover = record["fault_overhead"]
+    print(f"fault-path overhead (armed, zero events fired): "
+          f"{fover['overhead_frac'] * 100:.1f}% wall "
+          f"({fover['wall_s_plain']:.3f}s -> "
+          f"{fover['wall_s_faults_armed']:.3f}s)")
     if args.bench_json:
         path = Path(args.bench_json)
         path.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")

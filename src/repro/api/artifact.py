@@ -3,9 +3,11 @@
 A :class:`RunArtifact` is the durable output of running one
 :class:`~repro.api.scenario.Scenario`: per-method summaries (JCT stats,
 the Fig. 10 decomposition, TTFT/TBT percentiles, SLO goodput, peak
-memory, swap counts) plus per-request records, under a stable schema
-(``hack-repro/run-artifact`` v2; v1 files — which predate the serving
-metrics — still load).  Artifacts can be saved to disk, loaded back,
+memory, swap counts, fault/recovery accounting) plus per-request
+records, under a stable schema (``hack-repro/run-artifact`` v4; v1–v3
+files — which predate the serving metrics, trace block and reliability
+accounting respectively — still load).  Artifacts can be saved to
+disk, loaded back,
 rendered as tables and compared — the diffable, cacheable counterpart
 of the pretty-printed experiment output.
 
@@ -33,16 +35,23 @@ SCHEMA_NAME = "hack-repro/run-artifact"
 #: ``trace`` block (max-context clip counts) and — only on runs that
 #: configure them — the ``kvstore``/``selection_mix`` summary sections
 #: and per-request ``method_selected``/``prefix_hit_tokens``/
-#: ``cache_read_s``/``cache_tier`` keys.  v1/v2 files still load (their
-#: summaries simply lack the newer keys).
-SCHEMA_VERSION = 3
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
+#: ``cache_read_s``/``cache_tier`` keys.  v4 adds per-request terminal
+#: state and reliability accounting (``terminal``/``n_retries``/
+#: ``wasted_compute_s``/``recovered``), includes rejected and failed
+#: requests in the record list, the ``n_failed`` summary count and —
+#: on runs that configure fault injection — the ``faults`` summary
+#: block (availability, wasted-work fraction, goodput under faults).
+#: v1–v3 files still load (their summaries simply lack the newer keys
+#: and their records only cover finished requests).
+SCHEMA_VERSION = 4
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 #: Scalar summary keys surfaced by ``summary_table`` (the compact view).
 #: v2 keys render as "-" for v1 artifacts that predate them.
 SUMMARY_METRICS = ("avg_jct_s", "p50_jct_s", "p99_jct_s",
                    "p99_ttft_s", "p99_tbt_s", "slo_goodput_rps",
-                   "peak_memory_fraction", "n_swapped", "n_rejected")
+                   "peak_memory_fraction", "n_swapped", "n_rejected",
+                   "n_failed")
 
 #: Every scalar key in a MethodRun summary — ``compare`` checks those
 #: present on both sides, plus the per-bucket decomposition and
@@ -54,7 +63,9 @@ _COMPARE_SCALARS = ("n_requests", "avg_jct_s", "p50_jct_s", "p95_jct_s",
                     "mean_ttft_s", "p50_ttft_s", "p95_ttft_s", "p99_ttft_s",
                     "mean_tbt_s", "p50_tbt_s", "p95_tbt_s", "p99_tbt_s",
                     "mean_normalized_latency_s", "slo_ttft_s", "slo_tbt_s",
-                    "slo_attainment", "slo_goodput_rps")
+                    "slo_attainment", "slo_goodput_rps",
+                    # schema v4 reliability count
+                    "n_failed")
 
 
 @dataclass
@@ -250,6 +261,17 @@ def compare_artifacts(a: RunArtifact, b: RunArtifact,
         if ma != mb:
             method_diff["selection_mix"] = {"a": ma, "b": mb,
                                             "rel_diff": 1.0}
+        fa, fb = sa.get("faults"), sb.get("faults")
+        if fa is not None and fb is not None:
+            for metric in ("availability", "n_failed", "n_recovered",
+                           "n_retries", "wasted_compute_s",
+                           "wasted_work_fraction",
+                           "goodput_under_faults_rps"):
+                check(f"faults.{metric}", fa[metric], fb[metric])
+        elif (fa is None) != (fb is None):
+            method_diff["faults"] = {"a": fa is not None,
+                                     "b": fb is not None,
+                                     "rel_diff": 1.0}
         da, db = sa["mean_decomposition_s"], sb["mean_decomposition_s"]
         for bucket in sorted(set(da) | set(db)):
             check(f"mean_decomposition_s.{bucket}",
@@ -259,7 +281,18 @@ def compare_artifacts(a: RunArtifact, b: RunArtifact,
             method_diff["requests"] = {"a": len(ra), "b": len(rb),
                                        "rel_diff": 1.0}
         else:
-            worst = max((_rel_diff(x["jct_s"], y["jct_s"])
+            # v4 records cover rejected/failed requests too, which
+            # carry no jct_s — a terminal-state flip counts as a full
+            # diff for that request.
+            def record_diff(x: dict, y: dict) -> float:
+                if x.get("terminal", "finished") != \
+                        y.get("terminal", "finished"):
+                    return 1.0
+                if "jct_s" not in x or "jct_s" not in y:
+                    return 0.0 if ("jct_s" in x) == ("jct_s" in y) else 1.0
+                return _rel_diff(x["jct_s"], y["jct_s"])
+
+            worst = max((record_diff(x, y)
                          for x, y in zip(ra, rb)), default=0.0)
             if worst > rtol:
                 method_diff["requests.jct_s"] = {

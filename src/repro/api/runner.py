@@ -99,6 +99,8 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
             scheduler=scenario.scheduler,
             kvstore=scenario.kvstore,
             selection=scenario.selection,
+            faults=scenario.faults,
+            recovery=scenario.recovery,
         )
         overrides = {}
         if scenario.n_prefill_replicas is not None:

@@ -45,6 +45,17 @@ from ..methods import (
     split_method_list,
 )
 from ..model.config import ModelSpec
+from ..sim.faults import (
+    FaultPlan,
+    FaultSpec,
+    canonical_faults,
+    has_fault_families,
+)
+from ..sim.recovery import (
+    RecoverySpec,
+    canonical_recovery,
+    has_recovery_policy,
+)
 from ..sim.scheduling import (
     SchedulerSpec,
     canonical_scheduler,
@@ -152,6 +163,16 @@ class Scenario:
     #: :class:`~repro.kvstore.SelectionSpec`; ``None`` keeps one method
     #: per cluster (and serializes/slugs exactly as before).
     selection: str | None = None
+    #: Fault-injection plan: a grammar string
+    #: (``"replica_crash?mttf=600"``, ``+``-composed) or a
+    #: :class:`~repro.sim.faults.FaultPlan`; ``None`` injects nothing
+    #: (and serializes/slugs exactly as before the field existed).
+    faults: str | None = None
+    #: Recovery policy for fault-interrupted requests: a grammar string
+    #: (``"retry?max=5"``, ``"none"``, ``"migrate"``) or a
+    #: :class:`~repro.sim.recovery.RecoverySpec`; ``None`` means the
+    #: default ``retry`` policy when faults are set.
+    recovery: str | None = None
     #: Overrides on DEFAULT_CALIBRATION, e.g. {"net_efficiency": 0.25}.
     calibration: tuple[tuple[str, float], ...] | None = None
     #: Optional human label; never affects resolution, equality or the
@@ -230,6 +251,24 @@ class Scenario:
             else:
                 selection = selection.strip()
             object.__setattr__(self, "selection", selection)
+        if self.faults is not None:
+            faults = self.faults
+            if isinstance(faults, (FaultPlan, FaultSpec)) \
+                    or not isinstance(faults, str) \
+                    or has_fault_families(faults):
+                faults = canonical_faults(faults)
+            else:
+                faults = faults.strip()
+            object.__setattr__(self, "faults", faults)
+        if self.recovery is not None:
+            recovery = self.recovery
+            if isinstance(recovery, RecoverySpec) \
+                    or not isinstance(recovery, str) \
+                    or has_recovery_policy(recovery):
+                recovery = canonical_recovery(recovery)
+            else:
+                recovery = recovery.strip()
+            object.__setattr__(self, "recovery", recovery)
 
     # -- derived views --------------------------------------------------------
 
@@ -254,8 +293,8 @@ class Scenario:
     def to_dict(self) -> dict:
         """A JSON-ready dict (calibration as a plain mapping).
 
-        ``step_mode``, ``arrival``, ``scheduler``, ``kvstore`` and
-        ``selection`` are emitted only
+        ``step_mode``, ``arrival``, ``scheduler``, ``kvstore``,
+        ``selection``, ``faults`` and ``recovery`` are emitted only
         when set: a defaulted scenario serializes exactly as it did
         before the fields existed, so schema readers predating them
         still load such artifacts (and slugs of pre-existing scenarios
@@ -266,7 +305,7 @@ class Scenario:
         out["calibration"] = (dict(self.calibration)
                               if self.calibration else None)
         for optional in ("step_mode", "arrival", "scheduler", "kvstore",
-                         "selection"):
+                         "selection", "faults", "recovery"):
             if out[optional] is None:
                 del out[optional]
         return out
@@ -319,7 +358,8 @@ class Scenario:
         for fname in ("rps", "load_factor", "n_requests", "seed", "scale",
                       "n_prefill_replicas", "n_decode_replicas",
                       "activation_overhead", "step_mode", "arrival",
-                      "scheduler", "kvstore", "selection"):
+                      "scheduler", "kvstore", "selection", "faults",
+                      "recovery"):
             value = getattr(self, fname)
             if value is not None and (fname != "scale" or value != 1.0):
                 bits.append(f"{fname}={value}")

@@ -46,6 +46,7 @@ from .experiments import (
     fig9_12_jct,
     fig13_ablation,
     fig14_scalability,
+    faults as faults_experiment,
     kvstore as kvstore_experiment,
     scheduling,
     sec3_fp_formats,
@@ -59,6 +60,8 @@ from .kvstore.spec import eviction_policies, kvstore_families, \
     split_kvstore_list
 from .methods import METHODS, method_families, split_method_list
 from .model.config import MODEL_LETTERS as MODEL_REGISTRY
+from .sim.faults import fault_families, split_faults_list
+from .sim.recovery import recovery_policies, split_recovery_list
 from .sim.scheduling import dispatch_policies, placement_policies, \
     split_scheduler_list
 from .workload.arrivals import arrival_processes, split_arrival_list
@@ -127,6 +130,9 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     "kvstore": ExperimentSpec(
         "tiered KV store × compression selection on session workloads",
         lambda s, r: kvstore_experiment.run(scale=s, runner=r)),
+    "faults": ExperimentSpec(
+        "fault injection × recovery policies under bursty traffic",
+        lambda s, r: faults_experiment.run(scale=s, runner=r)),
 }
 
 #: Dataset axis used by the default ``sweep`` grid (Fig. 9 style).
@@ -201,6 +207,19 @@ def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
                             "static, slo_tier?tier2=hack_int4, or "
                             "congestion?hi=0.75,lo=0.5 (see `list`; "
                             "default keeps one method per cluster)")
+    group.add_argument("--faults", default=None,
+                       metavar="PLAN",
+                       help="fault-injection plan: a family spec like "
+                            "replica_crash?mttf=600,mttr=30 or a '+'-"
+                            "joined composition replica_crash+"
+                            "nic_degrade?factor=0.5 (see `list`; default "
+                            "is no faults)")
+    group.add_argument("--recovery", default=None,
+                       metavar="POLICY",
+                       help="recovery policy for faulted requests: "
+                            "retry?max=3,base_s=1.0, migrate, or none "
+                            "(see `list`; default retry — only active "
+                            "when --faults is set)")
     group.add_argument("--calib", action="append", default=[],
                        metavar="KEY=VALUE",
                        help="calibration override (repeatable)")
@@ -250,6 +269,8 @@ def _scenario_from_args(args, scale: float) -> Scenario:
         scheduler=args.scheduler,
         kvstore=args.kvstore,
         selection=args.selection,
+        faults=args.faults,
+        recovery=args.recovery,
         calibration=calibration,
     )
 
@@ -278,6 +299,13 @@ def _parse_axis(spec: str) -> tuple[str, tuple]:
         return field, tuple(split_kvstore_list(raw))
     if field == "selection":
         return field, tuple(split_selection_list(raw))
+    if field == "faults":
+        # fault plans: "none,replica_crash?mttf=600,mttr=30+nic_degrade"
+        # is two axis values ("none" maps to no faults).
+        return field, tuple(None if v == "none" else v
+                            for v in split_faults_list(raw))
+    if field == "recovery":
+        return field, tuple(split_recovery_list(raw))
     return field, tuple(_coerce(token) for token in raw.split(","))
 
 
@@ -537,6 +565,20 @@ def _cmd_list(args) -> int:
                               for p, pd in cls.params.items()}}
             for name, cls in selection_policies().items()
         },
+        "fault_families": {
+            name: {"description": cls.description,
+                   "signature": cls.signature(),
+                   "params": {p: pd.default
+                              for p, pd in cls.params.items()}}
+            for name, cls in fault_families().items()
+        },
+        "recovery_policies": {
+            name: {"description": cls.description,
+                   "signature": cls.signature(),
+                   "params": {p: pd.default
+                              for p, pd in cls.params.items()}}
+            for name, cls in recovery_policies().items()
+        },
         "prefill_gpus": list(fig1_motivation.GPUS),
     }
     if args.json:
@@ -572,6 +614,13 @@ def _cmd_list(args) -> int:
         print(f"  {cls.signature():42s} {cls.description}")
     print("selection policies (--selection, same grammar):")
     for name, cls in selection_policies().items():
+        print(f"  {cls.signature():42s} {cls.description}")
+    print("fault families (--faults family?key=val+family…, same "
+          "grammar):")
+    for name, cls in fault_families().items():
+        print(f"  {cls.signature():42s} {cls.description}")
+    print("recovery policies (--recovery, same grammar):")
+    for name, cls in recovery_policies().items():
         print(f"  {cls.signature():42s} {cls.description}")
     return 0
 

@@ -6,6 +6,7 @@ from . import (
     fig9_12_jct,
     fig13_ablation,
     fig14_scalability,
+    faults,
     kvstore,
     scheduling,
     sec3_fp_formats,
@@ -21,6 +22,7 @@ __all__ = [
     "fig9_12_jct",
     "fig13_ablation",
     "fig14_scalability",
+    "faults",
     "kvstore",
     "scheduling",
     "sec3_fp_formats",

@@ -400,11 +400,21 @@ class CongestionSelection(CompressionSelectionPolicy):
         self._congested = False
 
     def signal(self, now: float, sim) -> float:
-        """max(pooled-store occupancy, normalized worst NIC backlog)."""
+        """max(pooled-store occupancy, normalized worst NIC backlog,
+        fault-driven capacity loss)."""
         pool = sim.kvstore.pool_occupancy() if sim.kvstore else 0.0
         backlog = max((r.nic_free_at - now for r in sim._prefill),
                       default=0.0)
-        return max(pool, min(1.0, max(0.0, backlog) / self.p["nic_s"]))
+        signal = max(pool, min(1.0, max(0.0, backlog) / self.p["nic_s"]))
+        # Graceful degradation under fault injection: the fraction of
+        # decode replicas down counts as congestion, so a crash trips
+        # selection to the cheaper strong method exactly like store/NIC
+        # pressure does.  0.0 on unfaulted runs (and absent on foreign
+        # simulator objects), so historical behavior is unchanged.
+        capacity_loss = getattr(sim, "fault_capacity_signal", None)
+        if capacity_loss is not None:
+            signal = max(signal, capacity_loss())
+        return signal
 
     def choose(self, now, req, sim):
         signal = self.signal(now, sim)

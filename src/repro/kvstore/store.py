@@ -123,6 +123,12 @@ class TieredKVStore:
         self.tokens_hit = 0
         self.n_dropped = 0            # entries evicted out of the hierarchy
         self.n_expired = 0            # entries dropped by policy expiry
+        # Fault injection: dark (unreachable) tiers.  Counts, not
+        # flags, so overlapping outage specs compose; a tier is dark
+        # while its count is positive.
+        self._dark_counts: dict[str, int] = {}
+        self.n_dark_misses = 0        # hits lost to a dark tier
+        self.n_dark_drops = 0         # writes lost (target tier dark)
 
     # -- the engine-facing API -------------------------------------------------
 
@@ -141,6 +147,11 @@ class TieredKVStore:
             self.n_expired += 1
             entry = None
         if entry is None or prefix_tokens <= 0:
+            return _MISS
+        if self._is_dark(entry.tier):
+            # The owning tier is out: the entry survives the outage but
+            # cannot be read — the request prefills from scratch.
+            self.n_dark_misses += 1
             return _MISS
         hit_tokens = min(entry.tokens, prefix_tokens)
         tier = self.tiers[entry.tier]
@@ -172,17 +183,27 @@ class TieredKVStore:
             return
         entry = self._index.get(key)
         if entry is None:
+            top = self._top_live()
+            if top is None:
+                # Every tier is dark: the write has nowhere to land.
+                self.n_dark_drops += 1
+                return
             entry = CacheEntry(key=key, tokens=tokens,
                                bytes_per_token=bytes_per_token,
-                               method_name=method_name, tier=0,
+                               method_name=method_name, tier=top,
                                seq=next(self._seq), created_s=now,
                                last_access_s=now)
             self._index[key] = entry
-            self.tiers[0].entries[key] = entry
-            self._charge_write(self.tiers[0], entry.nbytes)
+            self.tiers[top].entries[key] = entry
+            self._charge_write(self.tiers[top], entry.nbytes)
         else:
             if tokens <= entry.tokens:
                 entry.last_access_s = now
+                return
+            if self._is_dark(entry.tier):
+                # Cannot extend an entry stranded in a dark tier; the
+                # longer prefix is simply not cached.
+                self.n_dark_drops += 1
                 return
             tier = self.tiers[entry.tier]
             old_bytes = entry.nbytes
@@ -206,7 +227,40 @@ class TieredKVStore:
         built-in hierarchy) — the congestion-selection signal."""
         return self.tiers[-1].occupancy()
 
+    def set_dark(self, tier_name: str, dark: bool) -> None:
+        """Mark a tier unreachable (``dark=True``) or repaired.
+
+        Dark tiers serve no reads (lookups landing there miss), accept
+        no writes (new entries target the top *live* tier; extensions
+        of stranded entries drop) and are skipped as demotion targets.
+        Their contents survive and serve again once the outage lifts.
+        Calls stack: overlapping outage specs each add one level.
+        """
+        names = [t.spec.name for t in self.tiers]
+        if tier_name not in names:
+            raise ValueError(
+                f"unknown tier {tier_name!r}; store tiers are "
+                f"{', '.join(names)}"
+            )
+        count = self._dark_counts.get(tier_name, 0) + (1 if dark else -1)
+        if count < 0:
+            raise ValueError(
+                f"tier {tier_name!r} is not dark (unbalanced set_dark)"
+            )
+        self._dark_counts[tier_name] = count
+
     # -- internals -------------------------------------------------------------
+
+    def _is_dark(self, tier_index: int) -> bool:
+        return self._dark_counts.get(
+            self.tiers[tier_index].spec.name, 0) > 0
+
+    def _top_live(self) -> int | None:
+        """Index of the fastest non-dark tier (None if all are dark)."""
+        for i in range(len(self.tiers)):
+            if not self._is_dark(i):
+                return i
+        return None
 
     def _charge_write(self, tier: TierState, nbytes: float) -> None:
         tier.used_bytes += nbytes
@@ -221,16 +275,17 @@ class TieredKVStore:
         del self._index[entry.key]
 
     def _promote(self, entry: CacheEntry, now: float) -> None:
-        """Move a hit entry to the top tier (if it fits there at all)."""
-        if entry.tier == 0 \
-                or entry.nbytes > self.tiers[0].spec.capacity_bytes:
+        """Move a hit entry to the top *live* tier (if it fits)."""
+        top = self._top_live()
+        if top is None or entry.tier <= top \
+                or entry.nbytes > self.tiers[top].spec.capacity_bytes:
             return
         old = self.tiers[entry.tier]
         del old.entries[entry.key]
         old.used_bytes -= entry.nbytes
-        entry.tier = 0
-        self.tiers[0].entries[entry.key] = entry
-        self._charge_write(self.tiers[0], entry.nbytes)
+        entry.tier = top
+        self.tiers[top].entries[entry.key] = entry
+        self._charge_write(self.tiers[top], entry.nbytes)
         self._enforce_capacity(now)
 
     def _enforce_capacity(self, now: float) -> None:
@@ -251,10 +306,13 @@ class TieredKVStore:
                 tier.used_bytes -= victim.nbytes
                 # Demote to the first lower tier the entry fits in at
                 # all — an entry larger than the DRAM tier can still
-                # land in the pool (the too-small tier is bypassed).
+                # land in the pool (the too-small tier is bypassed, and
+                # so is a dark tier: it accepts no writes).
                 nxt = ti + 1
-                while nxt < len(self.tiers) and \
-                        victim.nbytes > self.tiers[nxt].spec.capacity_bytes:
+                while nxt < len(self.tiers) and (
+                    victim.nbytes > self.tiers[nxt].spec.capacity_bytes
+                    or self._is_dark(nxt)
+                ):
                     nxt += 1
                 if nxt < len(self.tiers):
                     victim.tier = nxt
@@ -282,6 +340,8 @@ class TieredKVStore:
             "entries": len(self._index),
             "dropped": self.n_dropped,
             "expired": self.n_expired,
+            "dark_misses": self.n_dark_misses,
+            "dark_drops": self.n_dark_drops,
             "tiers": {
                 tier.spec.name: {
                     "capacity_gb": tier.spec.capacity_bytes / 1e9,

@@ -66,6 +66,8 @@ from ..perfmodel.prefill import prefill_time
 from ..perfmodel.transfer import DEFAULT_PIPELINE_STAGES, kv_wire_bytes, \
     make_network_model
 from ..workload.traces import TraceRequest
+from .faults import FaultPlan, faults_spec
+from .recovery import DEFAULT_RECOVERY, RecoverySpec, recovery_spec
 from .request import BUCKETS, SimRequest, nearest_rank
 from .scheduling import SchedulerSpec, scheduler_spec
 
@@ -138,6 +140,17 @@ class ClusterConfig:
     #: or ``selection`` switches the engine to the KV-store-aware
     #: prefill path (per-request methods stamped on records).
     selection: SelectionSpec | None = None
+    #: Fault-injection plan (``None`` — the default — injects nothing:
+    #: every hot path takes its historical branch and results are
+    #: byte-identical).  Accepts a :class:`~repro.sim.faults.FaultPlan`,
+    #: a :class:`~repro.sim.faults.FaultSpec` or a grammar string
+    #: (``"replica_crash?mttf=600+transfer_flap?p_fail=0.05"``).
+    faults: FaultPlan | None = None
+    #: Recovery policy for fault-interrupted requests; only meaningful
+    #: when ``faults`` is set (``None`` then means the default
+    #: ``retry`` policy).  Accepts a
+    #: :class:`~repro.sim.recovery.RecoverySpec` or grammar string.
+    recovery: RecoverySpec | None = None
 
     def __post_init__(self) -> None:
         if self.step_mode not in ("span", "token"):
@@ -160,6 +173,13 @@ class ClusterConfig:
                 and not isinstance(self.selection, SelectionSpec):
             object.__setattr__(self, "selection",
                                selection_spec(self.selection))
+        if self.faults is not None \
+                and not isinstance(self.faults, FaultPlan):
+            object.__setattr__(self, "faults", faults_spec(self.faults))
+        if self.recovery is not None \
+                and not isinstance(self.recovery, RecoverySpec):
+            object.__setattr__(self, "recovery",
+                               recovery_spec(self.recovery))
         if self.prefill_fleets is not None:
             if not self.prefill_fleets:
                 raise ValueError("prefill_fleets must name >= 1 fleet")
@@ -223,6 +243,8 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
                     scheduler=None,
                     kvstore=None,
                     selection=None,
+                    faults=None,
+                    recovery=None,
                     ) -> ClusterConfig:
     """The paper's §7.1 deployment for ``model`` on ``prefill_gpu``.
 
@@ -241,7 +263,8 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
     (``"round_robin+best_fit"``); ``None`` keeps the paper's pair.
     ``kvstore``/``selection`` plumb straight through to the matching
     :class:`ClusterConfig` fields (spec objects or grammar strings;
-    ``None`` keeps the historical no-KV-store path).
+    ``None`` keeps the historical no-KV-store path), as do
+    ``faults``/``recovery`` (``None`` injects nothing).
     """
     fleets = parse_fleet_spec(prefill_gpu)
     dec_gpu = decode_gpu.upper()
@@ -279,6 +302,10 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
         extra["kvstore"] = kvstore_spec(kvstore)
     if selection is not None:
         extra["selection"] = selection_spec(selection)
+    if faults is not None:
+        extra["faults"] = faults_spec(faults)
+    if recovery is not None:
+        extra["recovery"] = recovery_spec(recovery)
     if len(resolved) > 1:
         extra["prefill_fleets"] = tuple(resolved)
         gpu_label = canonical_fleet(tuple(resolved))
@@ -304,6 +331,13 @@ class _PrefillReplica:
     current: SimRequest | None = None
     nic_free_at: float = 0.0
     assigned: int = 0
+    # Fault-injection state (inert without a fault plan).
+    up: bool = True
+    #: Overlapping crash specs stack; the replica is up when this is 0.
+    down_count: int = 0
+    #: Stale-event guard: bumped on every crash, stamped into this
+    #: replica's in-flight event payloads.
+    epoch: int = 0
 
 
 @dataclass
@@ -325,8 +359,20 @@ class _DecodeReplica:
     #: A truncated span settled early; its boundary event will take a
     #: fresh batch snapshot, so later joins need no further interrupt.
     boundary_pending: bool = False
+    #: The boundary iteration :meth:`Simulator._interrupt_span` settled
+    #: through (a crash before the boundary event must un-credit it).
+    boundary_k: int = 0
+    # Fault-injection state (inert without a fault plan).
+    up: bool = True
+    down_count: int = 0
+    epoch: int = 0
 
     def free_bytes(self) -> float:
+        # A crashed replica reports negative free space so every
+        # placement policy's room check excludes it without needing to
+        # know about faults.
+        if not self.up:
+            return -1.0
         return self.capacity_bytes - self.used_bytes
 
 
@@ -354,6 +400,15 @@ class SimulationResult:
     #: method the selection policy chose, per service class.  ``None``
     #: unless the run had a ``selection`` policy configured.
     selection_mix: dict | None = None
+    #: The rejected requests themselves (``n_rejected`` == their count;
+    #: they appear in :meth:`to_records` with terminal ``rejected``).
+    rejected_requests: list = field(default_factory=list)
+    #: Requests the recovery policy gave up on (fault injection only;
+    #: terminal ``failed``).
+    failed_requests: list = field(default_factory=list)
+    #: Whether the run had a fault plan configured (drives the
+    #: ``faults`` summary block even when nothing happened to fail).
+    faulted: bool = False
 
     def avg_jct(self) -> float:
         """Mean job completion time across all requests (Fig. 9 metric)."""
@@ -470,9 +525,60 @@ class SimulationResult:
             return 0.0
         return attainment * len(self.requests) / span
 
+    def terminal_requests(self) -> list:
+        """Every request that reached a terminal state — finished,
+        rejected or failed — in request-id order."""
+        out = [*self.requests, *self.rejected_requests,
+               *self.failed_requests]
+        out.sort(key=lambda r: r.request_id)
+        return out
+
+    # -- reliability metrics (fault injection) ---------------------------------
+
+    def availability(self) -> float:
+        """Fraction of terminal requests that finished (1.0 when
+        nothing was rejected or failed)."""
+        total = (len(self.requests) + len(self.rejected_requests)
+                 + len(self.failed_requests))
+        if total == 0:
+            return 0.0
+        return len(self.requests) / total
+
+    def wasted_compute_s(self) -> float:
+        """Processing seconds faults threw away, over all requests."""
+        return sum(r.wasted_compute_s for r in self.terminal_requests())
+
+    def wasted_work_fraction(self) -> float:
+        """Wasted seconds over all processing seconds spent (useful +
+        wasted); 0 when the cluster did no work at all."""
+        wasted = self.wasted_compute_s()
+        useful = sum(r.busy_s() for r in self.requests)
+        total = wasted + useful
+        return wasted / total if total > 0 else 0.0
+
+    def goodput_under_faults_rps(
+            self, ttft_slo_s: float = DEFAULT_TTFT_SLO_S,
+            tbt_slo_s: float = DEFAULT_TBT_SLO_S) -> float:
+        """SLO-attaining *finished* requests per second of the offered
+        period — first arrival of any terminal request to the last
+        completion — so shed and failed load drags goodput down instead
+        of silently shrinking the denominator."""
+        if not self.requests:
+            return 0.0
+        terminal = self.terminal_requests()
+        span = (max(r.finish for r in self.requests)
+                - min(r.arrival for r in terminal))
+        if span <= 0:
+            return 0.0
+        met = self.slo_attainment(ttft_slo_s, tbt_slo_s) \
+            * len(self.requests)
+        return met / span
+
     def to_records(self) -> list[dict]:
-        """Per-request JSON-ready records (artifact schema v2)."""
-        return [r.record() for r in self.requests]
+        """Per-request JSON-ready records (artifact schema v4): every
+        terminal request — finished, rejected and failed — in
+        request-id order, each carrying its ``terminal`` state."""
+        return [r.record() for r in self.terminal_requests()]
 
     def summary(self, ttft_slo_s: float = DEFAULT_TTFT_SLO_S,
                 tbt_slo_s: float = DEFAULT_TBT_SLO_S) -> dict:
@@ -483,6 +589,10 @@ class SimulationResult:
         given SLO point) are appended.  Schema v3 appends ``kvstore``
         and/or ``selection_mix`` — but only when the run configured
         those layers, so every pre-existing summary is unchanged.
+        Schema v4 appends ``n_failed`` (always) and a ``faults`` block
+        with the reliability metrics — availability, retry counts,
+        wasted work, goodput under faults — when the run had a fault
+        plan configured.
         """
         jcts = sorted(r.jct for r in self.requests)
         ttfts = sorted(self.ttfts())
@@ -499,6 +609,7 @@ class SimulationResult:
             "peak_memory_fraction": self.peak_memory_fraction,
             "n_swapped": self.n_swapped,
             "n_rejected": self.n_rejected,
+            "n_failed": len(self.failed_requests),
             "mean_ttft_s": sum(ttfts) / len(ttfts) if ttfts else 0.0,
             "p50_ttft_s": self._nearest_rank(ttfts, 50),
             "p95_ttft_s": self._nearest_rank(ttfts, 95),
@@ -517,6 +628,19 @@ class SimulationResult:
             out["kvstore"] = self.kvstore_stats
         if self.selection_mix is not None:
             out["selection_mix"] = self.selection_mix
+        if self.faulted:
+            terminal = self.terminal_requests()
+            out["faults"] = {
+                "availability": self.availability(),
+                "n_failed": len(self.failed_requests),
+                "n_recovered": sum(1 for r in self.requests
+                                   if r.recovered),
+                "n_retries": sum(r.n_retries for r in terminal),
+                "wasted_compute_s": self.wasted_compute_s(),
+                "wasted_work_fraction": self.wasted_work_fraction(),
+                "goodput_under_faults_rps":
+                    self.goodput_under_faults_rps(ttft_slo_s, tbt_slo_s),
+            }
         return out
 
 
@@ -587,10 +711,65 @@ class Simulator:
         if self.selection is not None:
             self.selection.bind(self)
 
+        # Fault injection / recovery.  Without a fault plan
+        # ``_faults_enabled`` is False and every hot-path method below
+        # takes its historical branch — byte-identical results.
+        self.faults = config.faults
+        self._faults_enabled = config.faults is not None
+        self.recovery = None
+        self._fault_rng: np.random.Generator | None = None
+        self._fault_timeline: list = []
+        self._transfer_fail_p = 0.0
+        self._nic_factors: list[float] = []
+        self._failed: list[SimRequest] = []
+        #: Requests with no up prefill replica to dispatch to; drained
+        #: when a prefill replica is repaired.
+        self._pending_dispatch: deque = deque()
+        #: request_id -> (request, comm seconds accrued at transfer
+        #: start) for every in-flight KV transfer; lets a crash or flap
+        #: un-credit the wire time it threw away.
+        self._inflight: dict[int, tuple[SimRequest, float]] = {}
+        if self._faults_enabled:
+            for spec in self.faults.faults:
+                if spec.kind != "kvstore_outage":
+                    continue
+                if self.kvstore is None:
+                    raise ValueError(
+                        "kvstore_outage faults need a kvstore "
+                        "configured on the cluster"
+                    )
+                tier = spec.resolved_params()["tier"]
+                names = [t.spec.name for t in self.kvstore.tiers]
+                if tier not in names:
+                    raise ValueError(
+                        f"kvstore_outage tier {tier!r} is not in the "
+                        f"configured store (tiers: {', '.join(names)})"
+                    )
+            rspec = config.recovery if config.recovery is not None \
+                else RecoverySpec(DEFAULT_RECOVERY)
+            self.recovery = rspec.build()
+            self.recovery.bind(self)
+            # The plan-derived seed (not the trace seed) makes the
+            # stream re-derivable inside parallel sweep workers: the
+            # timeline draws first, then runtime draws (transfer flaps,
+            # retry jitter) consume the stream in event order.
+            self._fault_rng = np.random.default_rng(self.faults.rng_seed())
+            self._transfer_fail_p = self.faults.transfer_fail_prob()
+            horizon = 2.0 * max(tr.arrival_s for tr in trace) + 3600.0
+            self._fault_timeline = self.faults.timeline(
+                self._fault_rng, horizon, len(self._prefill),
+                len(self._decode))
+
     # -- public API ----------------------------------------------------------
 
     def run(self) -> SimulationResult:
         """Run to completion and return the results."""
+        # Fault events go on the heap first: at equal timestamps the
+        # lower sequence number wins, so a crash always preempts the
+        # sim event it coincides with (matching the stale-event guards,
+        # which discard exactly the events a crash raced).
+        for t, kind, payload in self._fault_timeline:
+            self._push(t, "fault", (kind, payload))
         for tr in self.trace:
             self._push(tr.arrival_s, "arrival", SimRequest(trace=tr))
         while self._events:
@@ -601,6 +780,8 @@ class Simulator:
             for d in self._decode
         )
         self._finished.sort(key=lambda r: r.request_id)
+        self._rejected.sort(key=lambda r: r.request_id)
+        self._failed.sort(key=lambda r: r.request_id)
         kv_stats = self.kvstore.stats() if self.kvstore is not None else None
         mix = None
         if self.selection is not None:
@@ -612,17 +793,39 @@ class Simulator:
                                 config=self.config,
                                 n_rejected=len(self._rejected),
                                 kvstore_stats=kv_stats,
-                                selection_mix=mix)
+                                selection_mix=mix,
+                                rejected_requests=self._rejected,
+                                failed_requests=self._failed,
+                                faulted=self._faults_enabled)
 
     # -- event handlers --------------------------------------------------------
 
     def _on_arrival(self, now: float, req: SimRequest) -> None:
-        idx = self.dispatch.choose(now, req, self._prefill)
-        if not 0 <= idx < len(self._prefill):
+        self._dispatch_to_prefill(now, req)
+
+    def _dispatch_to_prefill(self, now: float, req: SimRequest) -> None:
+        replicas = self._prefill
+        mapping = None
+        if self._faults_enabled:
+            up = [i for i, r in enumerate(self._prefill) if r.up]
+            if not up:
+                # Whole prefill fleet down: park the request until a
+                # repair (never silently dropped).
+                self._pending_dispatch.append(req)
+                return
+            if len(up) < len(self._prefill):
+                # Dispatch sees only the live replicas; indices map
+                # back to fleet positions afterwards.
+                replicas = [self._prefill[i] for i in up]
+                mapping = up
+        idx = self.dispatch.choose(now, req, replicas)
+        if not 0 <= idx < len(replicas):
             raise ValueError(
                 f"dispatch policy {self.dispatch.name!r} chose replica "
-                f"{idx} of {len(self._prefill)}"
+                f"{idx} of {len(replicas)}"
             )
+        if mapping is not None:
+            idx = mapping[idx]
         replica = self._prefill[idx]
         req.prefill_replica = idx
         replica.queued_tokens += req.trace.input_len
@@ -670,7 +873,8 @@ class Simulator:
                 # quantization share is its own (it is per-token work).
                 req.prefill_s = batch_s - own.quantize_s
                 req.quant_s = own.quantize_s
-        self._push(now + batch_s, "prefill_done", (idx, batch))
+        self._push(now + batch_s, "prefill_done",
+                   (idx, replica.epoch, batch))
 
     def _kv_prefill_batch(self, now: float, replica: _PrefillReplica,
                           batch: list) -> float:
@@ -700,7 +904,16 @@ class Simulator:
                 counts = self._selection_mix.setdefault(tier_key, {})
                 counts[method.name] = counts.get(method.name, 0) + 1
             if self.kvstore is not None:
-                prefix = min(req.trace.prefix_len, req.trace.input_len - 1)
+                limit = req.trace.input_len - 1
+                if req.kv_refetch:
+                    # Recovering a crash-lost KV: the previous
+                    # attempt's writeback (or the session entry) may
+                    # cover the whole prompt, not just the session
+                    # prefix — probe for all of it.
+                    prefix = limit
+                    req.kv_refetch = False
+                else:
+                    prefix = min(req.trace.prefix_len, limit)
                 hit = self.kvstore.lookup(self._cache_key(req), prefix, now)
                 req.prefix_hit_tokens = hit.tokens
                 req.cache_read_s = hit.read_s
@@ -734,8 +947,10 @@ class Simulator:
         return sid if sid >= 0 else ("r", req.trace.request_id)
 
     def _on_prefill_done(self, now: float, payload) -> None:
-        idx, batch = payload
+        idx, epoch, batch = payload
         replica = self._prefill[idx]
+        if epoch != replica.epoch:
+            return                       # the replica crashed mid-pass
         replica.current = None
         for req in batch:
             replica.queued_tokens -= req.trace.input_len
@@ -817,26 +1032,49 @@ class Simulator:
         # delay: it accrues to the comm bucket (this is what makes the
         # comm ratio climb with RPS in Fig. 1(d)).
         nic_wait = start - now
-        full = self.net.transfer_time(nbytes, nic.res.network_gbps,
-                                      self.dec_res.network_gbps,
+        src_gbps = nic.res.network_gbps
+        dst_gbps = self.dec_res.network_gbps
+        if self._faults_enabled:
+            # An active NIC brownout scales both endpoints' bandwidth
+            # for the whole transfer (the factor at transfer start
+            # applies end to end — a documented simplification).
+            factor = self._nic_factor()
+            if factor != 1.0:
+                src_gbps *= factor
+                dst_gbps *= factor
+        full = self.net.transfer_time(nbytes, src_gbps, dst_gbps,
                                       via_cpu=req.swapped).seconds
         nic.nic_free_at = start + full
         if self.config.pipelining and not req.swapped:
             exposed = self.net.pipelined_exposed_time(
-                nbytes, nic.res.network_gbps, self.dec_res.network_gbps,
+                nbytes, src_gbps, dst_gbps,
                 compute_s=req.prefill_s,
                 n_stages=self.config.pipeline_stages,
             )
             # Overlapped portion hides inside prefill; only the exposed
             # tail delays the request.
             done = start + exposed
-            req.comm_s += nic_wait + exposed
+            comm_added = nic_wait + exposed
         else:
             done = start + full
-            req.comm_s += nic_wait + full
-        self._push(done, "transfer_done", req)
+            comm_added = nic_wait + full
+        req.comm_s += comm_added
+        if self._faults_enabled:
+            self._inflight[req.request_id] = (req, comm_added)
+            if self._transfer_fail_p > 0.0 and float(
+                    self._fault_rng.random()) < self._transfer_fail_p:
+                # The flap surfaces when the transfer would have landed
+                # (the failed attempt held the NIC either way).
+                self._push(done, "transfer_fail", (req, req.attempt))
+                return
+        self._push(done, "transfer_done", (req, req.attempt))
 
-    def _on_transfer_done(self, now: float, req: SimRequest) -> None:
+    def _on_transfer_done(self, now: float, payload) -> None:
+        req, attempt = payload
+        if req.attempt != attempt:
+            return             # a crash already recovered this attempt
+        if self._faults_enabled:
+            self._inflight.pop(req.request_id, None)
         req.transfer_end = now
         req.decode_start = now
         idx = req.decode_replica
@@ -878,11 +1116,13 @@ class Simulator:
         snapshot = list(decode.active)
         decode.iteration_scheduled = True
         self._push(now + timing.latency_s, "decode_iter",
-                   (idx, snapshot, timing))
+                   (idx, decode.epoch, snapshot, timing))
 
     def _on_decode_iter(self, now: float, payload) -> None:
-        idx, snapshot, timing = payload
+        idx, epoch, snapshot, timing = payload
         decode = self._decode[idx]
+        if epoch != decode.epoch:
+            return          # the replica crashed before this iteration
 
         kv_sum = sum(c.kv_read_s for c in timing.per_request)
         compute_sum = sum(c.compute_s for c in timing.per_request)
@@ -990,10 +1230,15 @@ class Simulator:
         # No request can finish here: j < k = min(remaining) over the span.
         decode.span_id += 1               # drop the in-flight span event
         decode.boundary_pending = True
-        self._push(decode.span_start + totals.latency_s, "span_boundary", idx)
+        decode.boundary_k = j
+        self._push(decode.span_start + totals.latency_s, "span_boundary",
+                   (idx, decode.epoch))
 
-    def _on_span_boundary(self, now: float, idx: int) -> None:
+    def _on_span_boundary(self, now: float, payload) -> None:
+        idx, epoch = payload
         decode = self._decode[idx]
+        if epoch != decode.epoch:
+            return         # the replica crashed before the boundary
         decode.boundary_pending = False
         self._schedule_span(now, idx)
 
@@ -1026,6 +1271,236 @@ class Simulator:
             else:
                 still_waiting.append(req)
         self._pending_swap = still_waiting
+
+    # -- fault injection and recovery ------------------------------------------
+
+    def _on_fault(self, now: float, payload) -> None:
+        kind, data = payload
+        if kind == "replica_down":
+            role, idx = data
+            if role == "prefill":
+                self._prefill_down(now, idx)
+            else:
+                self._decode_down(now, idx)
+        elif kind == "replica_up":
+            role, idx = data
+            if role == "prefill":
+                self._prefill_up(now, idx)
+            else:
+                self._decode_up(now, idx)
+        elif kind == "nic_on":
+            self._nic_factors.append(data)
+        elif kind == "nic_off":
+            self._nic_factors.remove(data)
+        elif kind == "kv_dark":
+            tier, dark = data
+            self.kvstore.set_dark(tier, dark)
+        else:
+            raise ValueError(f"unknown fault event kind {kind!r}")
+
+    def _nic_factor(self) -> float:
+        """Product of active NIC brownout factors (1.0 = healthy)."""
+        factor = 1.0
+        for f in self._nic_factors:
+            factor *= f
+        return factor
+
+    def fault_capacity_signal(self) -> float:
+        """Fraction of decode replicas currently down (0.0 unfaulted).
+
+        The ``congestion`` selection policy folds this into its
+        congestion signal, so fault-driven capacity loss degrades
+        requests to the cheaper compression method exactly like
+        store/NIC pressure does (graceful degradation).
+        """
+        if not self._faults_enabled or not self._decode:
+            return 0.0
+        down = sum(1 for d in self._decode if not d.up)
+        return down / len(self._decode)
+
+    def _prefill_down(self, now: float, idx: int) -> None:
+        replica = self._prefill[idx]
+        replica.down_count += 1
+        if replica.down_count > 1:
+            return                # already down via an overlapping spec
+        replica.up = False
+        replica.epoch += 1        # discard the in-flight prefill_done
+        batch = replica.current or []
+        queued = list(replica.queue)
+        replica.current = None
+        replica.queue.clear()
+        replica.queued_tokens = 0
+        # In-flight transfers sourced from this replica's GPU memory
+        # die with it; swapped-KV transfers stream from host memory and
+        # survive the crash (a documented simplification).
+        dead = [(rid, req, comm) for rid, (req, comm)
+                in self._inflight.items()
+                if req.prefill_replica == idx and not req.swapped]
+        for rid, req, comm in dead:
+            del self._inflight[rid]
+            decode = self._decode[req.decode_replica]
+            decode.used_bytes -= req.reserved_bytes
+            decode.queued_tokens -= req.trace.total_len
+            req.reserved_bytes = 0.0
+            req.decode_replica = -1
+            self._recover(now, req, lost_kv=True)
+        for req in batch:
+            # The buckets were charged the full planned pass up front;
+            # only the elapsed share was actually burned.
+            self._recover(now, req, lost_kv=True,
+                          wasted_s=max(0.0, now - req.prefill_start))
+        for req in queued:
+            # Queued requests lost nothing — re-dispatch silently.
+            self._dispatch_to_prefill(now, req)
+        if dead:
+            self._admit_pending(now)
+
+    def _prefill_up(self, now: float, idx: int) -> None:
+        replica = self._prefill[idx]
+        replica.down_count -= 1
+        if replica.down_count > 0:
+            return
+        replica.up = True
+        pending = self._pending_dispatch
+        self._pending_dispatch = deque()
+        for req in pending:
+            self._dispatch_to_prefill(now, req)
+
+    def _decode_down(self, now: float, idx: int) -> None:
+        decode = self._decode[idx]
+        decode.down_count += 1
+        if decode.down_count > 1:
+            return
+        decode.up = False
+        decode.epoch += 1    # discard in-flight iteration/boundary events
+        if self.step_mode == "span" and decode.iteration_scheduled:
+            if decode.boundary_pending:
+                self._unsettle_boundary_iteration(decode)
+            else:
+                # Credit only the iterations that fully completed
+                # strictly before the crash — exactly the events the
+                # token path would have fired (a tie goes to the crash,
+                # which was pushed first).
+                elapsed = now - decode.span_start
+                cum = self.cost_model.span_cumlat(decode.span_ctx0,
+                                                  decode.span_k)
+                done = int(np.searchsorted(cum, elapsed, side="left"))
+                if done > 0:
+                    self._settle_span(
+                        decode, self.cost_model.span(decode.span_ctx0,
+                                                     done))
+        decode.span_id += 1           # drop the in-flight span event
+        decode.boundary_pending = False
+        decode.iteration_scheduled = False
+        victims = [entry[0] for entry in decode.active]
+        decode.active = []
+        decode.span_snapshot = []
+        decode.span_ctx0 = None
+        decode.used_bytes = 0.0
+        decode.queued_tokens = 0
+        transfer_victims = [
+            (rid, req, comm) for rid, (req, comm) in self._inflight.items()
+            if req.decode_replica == idx
+        ]
+        for rid, req, comm in transfer_victims:
+            del self._inflight[rid]
+        for req in victims:
+            req.reserved_bytes = 0.0
+            req.decode_replica = -1
+            self._recover(now, req, lost_kv=True)
+        for rid, req, comm in transfer_victims:
+            # The KV still sits at the source; only the wire time was
+            # wasted.  It re-lands in the queue bucket.
+            req.comm_s -= comm
+            req.wasted_compute_s += comm
+            req.reserved_bytes = 0.0
+            req.decode_replica = -1
+            self._recover(now, req, lost_kv=False)
+
+    def _decode_up(self, now: float, idx: int) -> None:
+        decode = self._decode[idx]
+        decode.down_count -= 1
+        if decode.down_count > 0:
+            return
+        decode.up = True
+        self._admit_pending(now)
+
+    def _unsettle_boundary_iteration(self, decode: _DecodeReplica) -> None:
+        """Un-credit the boundary iteration a crash interrupted.
+
+        :meth:`_interrupt_span` settles *through* the iteration in
+        progress (where a join lands); a crash striking before the
+        boundary event kills that iteration mid-flight, and the token
+        path would never have credited it — its event had not fired.
+        Subtract the settled span's last iteration so both step modes
+        account the lost work identically.
+        """
+        j = decode.boundary_k
+        tj = self.cost_model.span(decode.span_ctx0, j)
+        if j > 1:
+            tp = self.cost_model.span(decode.span_ctx0, j - 1)
+            deltas = (tj.decode_s - tp.decode_s,
+                      tj.dequant_s - tp.dequant_s,
+                      tj.approx_s - tp.approx_s,
+                      tj.kv_read_s - tp.kv_read_s)
+        else:
+            deltas = (tj.decode_s, tj.dequant_s, tj.approx_s,
+                      tj.kv_read_s)
+        for entry in decode.span_snapshot:
+            entry[0].accrue_decode(-deltas[0], -deltas[1], -deltas[2],
+                                   -deltas[3], tokens=-1)
+            entry[1] += 1
+
+    def _on_transfer_fail(self, now: float, payload) -> None:
+        req, attempt = payload
+        if req.attempt != attempt:
+            return             # a crash already recovered this attempt
+        _, comm = self._inflight.pop(req.request_id)
+        decode = self._decode[req.decode_replica]
+        decode.used_bytes -= req.reserved_bytes
+        decode.queued_tokens -= req.trace.total_len
+        req.reserved_bytes = 0.0
+        req.decode_replica = -1
+        # The flapped attempt's wire time is wasted work, not KV
+        # communication the request benefited from.
+        req.comm_s -= comm
+        req.wasted_compute_s += comm
+        self._recover(now, req, lost_kv=False)
+        self._admit_pending(now)
+
+    def _recover(self, now: float, req: SimRequest, lost_kv: bool,
+                 wasted_s: float | None = None) -> None:
+        """Route one fault-interrupted request through the recovery
+        policy: schedule a retry, or fail it when the policy gives up.
+
+        ``lost_kv`` — the KV no longer exists anywhere reachable (the
+        request must re-prefill; a configured KV store is probed for a
+        surviving cached prefix on the next pass).  Otherwise the KV
+        still sits at the prefill side and only the decode dispatch is
+        redone.
+        """
+        req.attempt += 1          # invalidate in-flight events
+        if lost_kv:
+            req.reset_for_retry(wasted_s)
+            if self.kvstore is not None:
+                req.kv_refetch = True
+        attempt = req.n_retries + 1
+        delay = self.recovery.delay(req, attempt, self._fault_rng)
+        if delay is None:
+            req.failed = True
+            self._failed.append(req)
+            return
+        req.n_retries = attempt
+        self._push(now + delay, "retry", (req, req.attempt, lost_kv))
+
+    def _on_retry(self, now: float, payload) -> None:
+        req, attempt, lost_kv = payload
+        if req.attempt != attempt or req.failed or req.done:
+            return
+        if lost_kv:
+            self._dispatch_to_prefill(now, req)
+        else:
+            self._dispatch_to_decode(now, req)
 
     # -- helpers ----------------------------------------------------------------
 

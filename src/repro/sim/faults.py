@@ -1,0 +1,552 @@
+"""Fault injection for the serving simulator.
+
+Every modeled component — prefill replicas, decode replicas, the NIC
+transfer path, the tiered KV store — is perfectly reliable unless this
+module says otherwise.  Fault *families* are an open registry mirroring
+:mod:`repro.sim.scheduling` / :mod:`repro.kvstore.selection`, specced
+with the same ``family?k=v`` grammar and composed with ``+``::
+
+    replica_crash?mttf=600,mttr=30,role=decode
+    nic_degrade?factor=0.25,start=60,duration=120
+    transfer_flap?p_fail=0.02
+    kvstore_outage?tier=dram,start=120,duration=120
+    replica_crash?role=prefill+transfer_flap?p_fail=0.01
+
+A :class:`FaultPlan` (the ``+``-composition; repeats of one family are
+allowed, unlike scheduler pairs) deterministically **pre-materializes**
+into a fault-event timeline before the first simulation event runs: all
+stochastic draws come from one seeded ``numpy`` Generator whose seed
+derives from the plan's canonical string, so a forked sweep worker
+re-derives the exact event times a serial run sees — parallel results
+stay bit-identical to serial.  Runtime draws (per-transfer flaps, retry
+jitter) consume *subsequent* values from the same generator in
+deterministic event order.
+
+Timeline events are ``(time_s, kind, payload)`` tuples the engine
+threads through its heap:
+
+* ``("replica_down", (role, index))`` / ``("replica_up", (role, index))``
+  — a crash/repair on a ``"prefill"`` or ``"decode"`` replica;
+* ``("nic_on", factor)`` / ``("nic_off", factor)`` — a bandwidth
+  brownout window opens/closes (overlapping windows multiply);
+* ``("kv_dark", (tier, dark))`` — a KV-store tier goes dark / recovers
+  (reads of entries it owns miss and fall through; writes land in the
+  top surviving tier).
+"""
+
+from __future__ import annotations
+
+import difflib
+import hashlib
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FaultParam",
+    "FaultFamily",
+    "FaultSpec",
+    "FaultPlan",
+    "register_fault",
+    "get_fault_family",
+    "fault_families",
+    "has_fault_families",
+    "faults_spec",
+    "parse_faults",
+    "canonical_faults",
+    "split_faults_list",
+]
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Replica roles a crash family may target.
+_ROLES = ("prefill", "decode")
+
+
+@dataclass(frozen=True)
+class FaultParam:
+    """One fault parameter: the default fixes the type (float, or a
+    word-safe string — e.g. a replica role or tier name)."""
+
+    default: object
+    doc: str = ""
+
+
+class FaultFamily:
+    """One kind of injected fault.
+
+    Subclasses set :attr:`name`, :attr:`description`, :attr:`params`
+    and are registered with :func:`register_fault`.  Instances receive
+    their resolved parameters as the ``p`` mapping and contribute to
+    the run through two hooks:
+
+    * :meth:`events` — the pre-materialized timeline contribution
+      (crash/repair instants, brownout windows, outage windows).  All
+      randomness must come from the passed generator, drawn in a fixed
+      order, so the timeline is a pure function of (plan, trace shape).
+    * :attr:`transfer_fail_prob` — a per-transfer failure probability
+      the engine evaluates at runtime (``transfer_flap``'s hook;
+      families without one return 0).
+    """
+
+    #: Registry key; also the prefix of the string grammar.
+    name: str = "abstract"
+    #: One-line summary shown by ``cli list``.
+    description: str = ""
+    #: Parameter table: name -> :class:`FaultParam`.
+    params: dict[str, FaultParam] = {}
+
+    def __init__(self, **params) -> None:
+        self.p = params
+
+    def events(self, rng: np.random.Generator, horizon_s: float,
+               n_prefill: int, n_decode: int) -> list:
+        """Timeline contribution: ``(time_s, kind, payload)`` tuples.
+
+        ``horizon_s`` bounds crash sampling (no *new* fault starts
+        after it; repairs may land beyond it so nothing stays down
+        forever).  Replica counts let per-replica families clamp their
+        targets to the fleet.
+        """
+        return []
+
+    def transfer_fail_prob(self) -> float:
+        """Per-transfer failure probability this family contributes."""
+        return 0.0
+
+    @classmethod
+    def validate(cls, **params) -> None:
+        """Raise ``ValueError`` for out-of-range parameter values."""
+
+    @classmethod
+    def signature(cls) -> str:
+        """Grammar template with defaults."""
+        if not cls.params:
+            return cls.name
+        parts = [f"{name}={pd.default}" for name, pd in cls.params.items()]
+        return f"{cls.name}?{','.join(parts)}"
+
+
+_FAULTS: dict[str, type] = {}
+
+
+def register_fault(cls=None, *, replace: bool = False):
+    """Class decorator registering a fault family."""
+
+    def decorator(obj):
+        if not (isinstance(obj, type) and issubclass(obj, FaultFamily)):
+            raise TypeError(
+                f"{getattr(obj, '__name__', obj)!r} must subclass "
+                "FaultFamily"
+            )
+        if not _NAME_RE.match(obj.name or ""):
+            raise ValueError(
+                f"fault family name {obj.name!r} must match "
+                f"{_NAME_RE.pattern}"
+            )
+        if obj.name in _FAULTS and not replace:
+            raise ValueError(
+                f"fault family {obj.name!r} is already registered; pass "
+                "register_fault(replace=True) to override"
+            )
+        for pname, pd in obj.params.items():
+            ok_float = isinstance(pd.default, (int, float)) \
+                and not isinstance(pd.default, bool)
+            ok_str = isinstance(pd.default, str) and pd.default
+            if not (ok_float or ok_str):
+                raise ValueError(
+                    f"parameter {pname!r} default must be a number or a "
+                    f"non-empty string, got {pd.default!r}"
+                )
+        _FAULTS[obj.name] = obj
+        return obj
+
+    if cls is not None:
+        return decorator(cls)
+    return decorator
+
+
+def get_fault_family(name: str) -> type:
+    """Look up a fault family, with typo suggestions."""
+    try:
+        return _FAULTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault family {name!r}{_suggest(name, _FAULTS)}"
+        ) from None
+
+
+def fault_families() -> dict[str, type]:
+    """All registered families (a copy, registration order)."""
+    return dict(_FAULTS)
+
+
+def has_fault_families(reference: str) -> bool:
+    """True when every ``+``-part of a string fault reference names a
+    family registered in this process (parameters may still be
+    invalid)."""
+    parts = [p.strip() for p in reference.strip().split("+")]
+    return bool(parts) and all(
+        part.partition("?")[0].strip() in _FAULTS for part in parts
+    )
+
+
+def _suggest(name: str, candidates) -> str:
+    matches = difflib.get_close_matches(name, list(candidates), n=3)
+    if matches:
+        return "; did you mean " + " or ".join(repr(m) for m in matches) + "?"
+    return f"; choose from {', '.join(sorted(candidates))}"
+
+
+def _coerce(kind: str, name: str, pd: FaultParam, value):
+    where = f"parameter {name!r} of fault family {kind!r}"
+    if isinstance(pd.default, str):
+        if not isinstance(value, str):
+            raise ValueError(f"{where} expects a string, got {value!r}")
+        if not value or any(c in value for c in ",=?+ "):
+            raise ValueError(
+                f"{where} string values must be non-empty and free of "
+                f"',', '=', '?', '+' and spaces; got {value!r}"
+            )
+        return value
+    if isinstance(value, bool):
+        raise ValueError(f"{where} expects a number, got {value!r}")
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{where} expects a number, got {value!r}"
+        ) from None
+
+
+# -- the specs ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault reference: family + parameters.
+
+    ``params`` holds only the parameters given explicitly, coerced to
+    the family's declared types and sorted; an explicitly-given default
+    is kept (``transfer_flap?p_fail=0.05`` stays distinct from
+    ``transfer_flap``)."""
+
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        family = get_fault_family(self.kind)
+        items = self.params.items() if isinstance(self.params, dict) \
+            else self.params
+        normalized: dict[str, object] = {}
+        for key, value in items:
+            if key not in family.params:
+                raise ValueError(
+                    f"fault family {self.kind!r} has no parameter "
+                    f"{key!r}{_suggest(key, family.params)}"
+                )
+            if key in normalized:
+                raise ValueError(
+                    f"parameter {key!r} given twice for fault family "
+                    f"{self.kind!r}"
+                )
+            normalized[key] = _coerce(self.kind, key, family.params[key],
+                                      value)
+        object.__setattr__(self, "params", tuple(sorted(normalized.items())))
+        family.validate(**self.resolved_params())
+
+    @classmethod
+    def of(cls, kind: str, **params) -> "FaultSpec":
+        return cls(kind, tuple(params.items()))
+
+    def resolved_params(self) -> dict:
+        """Family defaults overlaid with this spec's parameters."""
+        family = get_fault_family(self.kind)
+        out = {name: pd.default for name, pd in family.params.items()}
+        out.update(self.params)
+        return out
+
+    def build(self) -> FaultFamily:
+        """A fresh family instance."""
+        return get_fault_family(self.kind)(**self.resolved_params())
+
+    def canonical(self) -> str:
+        """Compact string form, e.g. ``transfer_flap?p_fail=0.05``."""
+        if not self.params:
+            return self.kind
+        parts = []
+        for k, v in self.params:
+            parts.append(f"{k}={v!r}" if isinstance(v, float)
+                         else f"{k}={v}")
+        return f"{self.kind}?{','.join(parts)}"
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A ``+``-composition of fault specs (order-preserving; one family
+    may appear several times, e.g. two brownout windows)."""
+
+    faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.faults:
+            raise ValueError("a fault plan needs at least one fault")
+        if not all(isinstance(f, FaultSpec) for f in self.faults):
+            raise TypeError("FaultPlan.faults must hold FaultSpec items")
+
+    @classmethod
+    def of(cls, *specs) -> "FaultPlan":
+        return cls(tuple(faults_spec(s).faults[0] if isinstance(s, str)
+                         else s for s in specs))
+
+    def canonical(self) -> str:
+        """Compact string form: specs joined by ``+``."""
+        return "+".join(spec.canonical() for spec in self.faults)
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+    def rng_seed(self) -> int:
+        """Deterministic seed derived from the canonical plan string —
+        stable across processes, so a forked sweep worker re-derives
+        the serial run's exact fault timeline."""
+        digest = hashlib.md5(self.canonical().encode()).hexdigest()
+        return int(digest[:8], 16)
+
+    def build(self) -> list:
+        """Fresh family instances, in plan order."""
+        return [spec.build() for spec in self.faults]
+
+    def timeline(self, rng: np.random.Generator, horizon_s: float,
+                 n_prefill: int, n_decode: int) -> list:
+        """The materialized fault timeline, stably sorted by time.
+
+        Families draw from ``rng`` in plan order, so the timeline is a
+        pure function of (plan canonical string, fleet shape, horizon).
+        """
+        events: list = []
+        for family in self.build():
+            events.extend(family.events(rng, horizon_s, n_prefill,
+                                        n_decode))
+        events.sort(key=lambda ev: ev[0])
+        return events
+
+    def transfer_fail_prob(self) -> float:
+        """Combined per-transfer failure probability: independent flap
+        sources compose as ``1 - prod(1 - p_i)``."""
+        survive = 1.0
+        for family in self.build():
+            survive *= 1.0 - family.transfer_fail_prob()
+        return 1.0 - survive
+
+
+# -- string grammar -----------------------------------------------------------
+
+def parse_faults(text: str) -> FaultPlan:
+    """Parse ``fault[+fault]`` (each ``family[?key=value,…]``) into a
+    :class:`FaultPlan`."""
+    parts = [p.strip() for p in text.strip().split("+")]
+    if not parts or not all(parts):
+        raise ValueError(
+            f"bad fault plan {text!r}; the grammar is "
+            "family[?k=v,…][+family[?k=v,…]…]"
+        )
+    specs = []
+    for part in parts:
+        kind, sep, rest = part.partition("?")
+        kind = kind.strip()
+        if kind not in _FAULTS:
+            raise ValueError(
+                f"unknown fault family {kind!r}{_suggest(kind, _FAULTS)}"
+            )
+        pairs = []
+        if sep:
+            for item in rest.split(","):
+                key, eq, value = item.partition("=")
+                key, value = key.strip(), value.strip()
+                if not eq or not key or not value:
+                    raise ValueError(
+                        f"bad fault parameter {item!r} in {text!r}; the "
+                        "grammar is family?key=value,key=value"
+                    )
+                pairs.append((key, value))
+        specs.append(FaultSpec(kind, tuple(pairs)))
+    return FaultPlan(tuple(specs))
+
+
+def faults_spec(reference) -> FaultPlan:
+    """The :class:`FaultPlan` behind any fault reference: a plan, a
+    single spec, or a grammar string."""
+    if isinstance(reference, FaultPlan):
+        return reference
+    if isinstance(reference, FaultSpec):
+        return FaultPlan((reference,))
+    if isinstance(reference, str):
+        return parse_faults(reference)
+    raise TypeError(
+        f"expected a FaultPlan, FaultSpec or string, got "
+        f"{type(reference).__name__}"
+    )
+
+
+def canonical_faults(reference) -> str:
+    """The canonical string form of a fault reference."""
+    return faults_spec(reference).canonical()
+
+
+def split_faults_list(text: str) -> list[str]:
+    """Split a comma-separated fault-plan list, keeping fault
+    parameters attached:
+    ``"transfer_flap,replica_crash?mttf=300,mttr=20+nic_degrade"``
+    splits after ``transfer_flap`` only (a ``key=value`` token
+    following an open ``?`` clause continues that clause)."""
+    parts: list[str] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if parts and "=" in token and "?" not in token \
+                and "?" in parts[-1].rsplit("+", 1)[-1]:
+            parts[-1] += "," + token
+        else:
+            parts.append(token)
+    return parts
+
+
+# -- built-in families --------------------------------------------------------
+
+@register_fault
+class ReplicaCrashFault(FaultFamily):
+    name = "replica_crash"
+    description = ("seeded exponential crash/repair cycles on prefill "
+                   "or decode replicas (MTTF/MTTR in seconds)")
+    params = {
+        "mttf": FaultParam(600.0, "mean time to failure, seconds"),
+        "mttr": FaultParam(30.0, "mean time to repair, seconds"),
+        "role": FaultParam("decode", "replica role: prefill or decode"),
+        "replicas": FaultParam(
+            1.0, "how many replicas of the role crash (clamped to the "
+                 "fleet, always leaving one replica unaffected when the "
+                 "fleet has more than one)"),
+    }
+
+    @classmethod
+    def validate(cls, *, mttf, mttr, role, replicas):
+        if mttf <= 0:
+            raise ValueError(f"replica_crash mttf must be > 0, got {mttf}")
+        if mttr <= 0:
+            raise ValueError(f"replica_crash mttr must be > 0, got {mttr}")
+        if role not in _ROLES:
+            raise ValueError(
+                f"replica_crash role must be one of {_ROLES}, got {role!r}"
+            )
+        if replicas != int(replicas) or replicas < 1:
+            raise ValueError(
+                f"replica_crash replicas must be a positive integer, got "
+                f"{replicas}"
+            )
+
+    def events(self, rng, horizon_s, n_prefill, n_decode):
+        fleet = n_prefill if self.p["role"] == "prefill" else n_decode
+        # Leave at least one replica unaffected on multi-replica fleets
+        # so the cluster can always make progress between repairs.
+        limit = fleet if fleet <= 1 else fleet - 1
+        targets = min(int(self.p["replicas"]), limit)
+        out = []
+        for idx in range(targets):
+            t = 0.0
+            while True:
+                t += float(rng.exponential(self.p["mttf"]))
+                if t >= horizon_s:
+                    break
+                out.append((t, "replica_down", (self.p["role"], idx)))
+                t += float(rng.exponential(self.p["mttr"]))
+                # The repair always lands (possibly past the horizon):
+                # nothing stays down forever.
+                out.append((t, "replica_up", (self.p["role"], idx)))
+        return out
+
+
+@register_fault
+class NicDegradeFault(FaultFamily):
+    name = "nic_degrade"
+    description = ("NIC bandwidth brownout: transfers starting inside "
+                   "the window run at factor x bandwidth")
+    params = {
+        "factor": FaultParam(0.25, "bandwidth multiplier in (0, 1]"),
+        "start": FaultParam(60.0, "window start, seconds"),
+        "duration": FaultParam(60.0, "window length, seconds"),
+    }
+
+    @classmethod
+    def validate(cls, *, factor, start, duration):
+        if not 0 < factor <= 1:
+            raise ValueError(
+                f"nic_degrade factor must be in (0, 1], got {factor}"
+            )
+        if start < 0:
+            raise ValueError(
+                f"nic_degrade start must be >= 0, got {start}"
+            )
+        if duration <= 0:
+            raise ValueError(
+                f"nic_degrade duration must be > 0, got {duration}"
+            )
+
+    def events(self, rng, horizon_s, n_prefill, n_decode):
+        start = self.p["start"]
+        return [(start, "nic_on", self.p["factor"]),
+                (start + self.p["duration"], "nic_off", self.p["factor"])]
+
+
+@register_fault
+class TransferFlapFault(FaultFamily):
+    name = "transfer_flap"
+    description = ("each KV transfer independently fails with "
+                   "probability p_fail (drawn at transfer start)")
+    params = {
+        "p_fail": FaultParam(0.05, "per-transfer failure probability"),
+    }
+
+    @classmethod
+    def validate(cls, *, p_fail):
+        if not 0 <= p_fail <= 1:
+            raise ValueError(
+                f"transfer_flap p_fail must be in [0, 1], got {p_fail}"
+            )
+
+    def transfer_fail_prob(self):
+        return self.p["p_fail"]
+
+
+@register_fault
+class KVStoreOutageFault(FaultFamily):
+    name = "kvstore_outage"
+    description = ("a KV-store tier goes dark for a window: its entries "
+                   "miss (reads fall through), writes land in the top "
+                   "surviving tier")
+    params = {
+        "tier": FaultParam("dram", "tier name (hbm, dram or pool)"),
+        "start": FaultParam(120.0, "outage start, seconds"),
+        "duration": FaultParam(120.0, "outage length, seconds"),
+    }
+
+    @classmethod
+    def validate(cls, *, tier, start, duration):
+        if start < 0:
+            raise ValueError(
+                f"kvstore_outage start must be >= 0, got {start}"
+            )
+        if duration <= 0:
+            raise ValueError(
+                f"kvstore_outage duration must be > 0, got {duration}"
+            )
+
+    def events(self, rng, horizon_s, n_prefill, n_decode):
+        start = self.p["start"]
+        tier = self.p["tier"]
+        return [(start, "kv_dark", (tier, True)),
+                (start + self.p["duration"], "kv_dark", (tier, False))]

@@ -1,0 +1,367 @@
+"""Recovery policies: what happens to a request a fault interrupted.
+
+When a fault (see :mod:`repro.sim.faults`) kills a request's replica,
+flaps its KV transfer or otherwise invalidates in-flight work, the
+engine asks the run's :class:`RecoveryPolicy` what to do with the
+request.  Policies are an open registry with the usual ``family?k=v``
+grammar::
+
+    retry?max=3,base_s=1.0,cap_s=30.0   # exponential backoff + jitter
+    migrate?max=5                       # immediate re-dispatch
+    none                                # fail the request outright
+
+A policy's :meth:`delay` returns the seconds to wait before the
+request re-enters the serving path (``0.0`` = immediately, through the
+run's normal scheduling policies — that *is* migration, since the
+crashed replica is excluded while down), or ``None`` to give up: the
+request sheds as terminal state ``failed`` (admission rejection under
+exhausted backoff budgets).  All jitter draws come from the engine's
+fault generator, in deterministic event order, so parallel sweeps stay
+bit-identical to serial.
+
+Graceful degradation under capacity loss rides on the PR-6
+compression-selection layer rather than on these policies: the
+``congestion`` selection family folds the simulator's
+``fault_capacity_signal()`` (fraction of decode replicas down) into
+its congestion signal, so a crash trips selection to the cheaper
+strong method exactly like store/NIC pressure does.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RecoveryParam",
+    "RecoveryPolicy",
+    "RecoverySpec",
+    "register_recovery",
+    "get_recovery_policy",
+    "recovery_policies",
+    "has_recovery_policy",
+    "recovery_spec",
+    "parse_recovery",
+    "canonical_recovery",
+    "split_recovery_list",
+    "DEFAULT_RECOVERY",
+]
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: The policy a faulted run gets when none is configured explicitly.
+DEFAULT_RECOVERY = "retry"
+
+
+@dataclass(frozen=True)
+class RecoveryParam:
+    """One policy parameter: a float default plus a one-line doc."""
+
+    default: float
+    doc: str = ""
+
+
+class RecoveryPolicy:
+    """Decides the fate of one fault-interrupted request attempt.
+
+    Subclasses set :attr:`name`, :attr:`description`, :attr:`params`
+    and implement :meth:`delay`; they may hold per-run state and
+    override :meth:`bind` to precompute from the simulator.
+    """
+
+    #: Registry key; also the prefix of the string grammar.
+    name: str = "abstract"
+    #: One-line summary shown by ``cli list``.
+    description: str = ""
+    #: Parameter table: name -> :class:`RecoveryParam` (floats only).
+    params: dict[str, RecoveryParam] = {}
+
+    def __init__(self, **params: float) -> None:
+        self.p = params
+
+    def bind(self, sim) -> None:
+        """Called once before the simulation starts."""
+
+    def delay(self, req, attempt: int,
+              rng: np.random.Generator) -> float | None:
+        """Seconds before attempt ``attempt`` (1 = first recovery)
+        re-enters the serving path, or ``None`` to fail the request."""
+        raise NotImplementedError
+
+    @classmethod
+    def validate(cls, **params: float) -> None:
+        """Raise ``ValueError`` for out-of-range parameter values."""
+
+    @classmethod
+    def signature(cls) -> str:
+        """Grammar template with defaults."""
+        if not cls.params:
+            return cls.name
+        parts = [f"{name}={pd.default!r}" for name, pd in cls.params.items()]
+        return f"{cls.name}?{','.join(parts)}"
+
+
+_RECOVERIES: dict[str, type] = {}
+
+
+def register_recovery(cls=None, *, replace: bool = False):
+    """Class decorator registering a recovery-policy family."""
+
+    def decorator(obj):
+        if not (isinstance(obj, type) and issubclass(obj, RecoveryPolicy)):
+            raise TypeError(
+                f"{getattr(obj, '__name__', obj)!r} must subclass "
+                "RecoveryPolicy"
+            )
+        if not _NAME_RE.match(obj.name or ""):
+            raise ValueError(
+                f"recovery policy name {obj.name!r} must match "
+                f"{_NAME_RE.pattern}"
+            )
+        if obj.name in _RECOVERIES and not replace:
+            raise ValueError(
+                f"recovery policy {obj.name!r} is already registered; "
+                "pass register_recovery(replace=True) to override"
+            )
+        for pname, pd in obj.params.items():
+            if not isinstance(pd.default, (int, float)) \
+                    or isinstance(pd.default, bool):
+                raise ValueError(
+                    f"parameter {pname!r} default must be a number, got "
+                    f"{type(pd.default).__name__}"
+                )
+        _RECOVERIES[obj.name] = obj
+        return obj
+
+    if cls is not None:
+        return decorator(cls)
+    return decorator
+
+
+def get_recovery_policy(name: str) -> type:
+    """Look up a recovery family, with typo suggestions."""
+    try:
+        return _RECOVERIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown recovery policy {name!r}"
+            f"{_suggest(name, _RECOVERIES)}"
+        ) from None
+
+
+def recovery_policies() -> dict[str, type]:
+    """All registered families (a copy, registration order)."""
+    return dict(_RECOVERIES)
+
+
+def has_recovery_policy(reference: str) -> bool:
+    """True when a string recovery reference names a family registered
+    in this process (parameters may still be invalid)."""
+    return reference.strip().partition("?")[0].strip() in _RECOVERIES
+
+
+def _suggest(name: str, candidates) -> str:
+    matches = difflib.get_close_matches(name, list(candidates), n=3)
+    if matches:
+        return "; did you mean " + " or ".join(repr(m) for m in matches) + "?"
+    return f"; choose from {', '.join(sorted(candidates))}"
+
+
+# -- the spec -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RecoverySpec:
+    """A declarative recovery-policy reference: family + parameters.
+
+    ``params`` holds only the parameters given explicitly, coerced to
+    float and sorted; an explicitly-given default is kept
+    (``retry?max=3.0`` stays distinct from ``retry``)."""
+
+    kind: str
+    params: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        family = get_recovery_policy(self.kind)
+        items = self.params.items() if isinstance(self.params, dict) \
+            else self.params
+        normalized: dict[str, float] = {}
+        for key, value in items:
+            if key not in family.params:
+                raise ValueError(
+                    f"recovery policy {self.kind!r} has no parameter "
+                    f"{key!r}{_suggest(key, family.params)}"
+                )
+            if key in normalized:
+                raise ValueError(
+                    f"parameter {key!r} given twice for recovery policy "
+                    f"{self.kind!r}"
+                )
+            try:
+                normalized[key] = float(value)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"parameter {key!r} of recovery policy {self.kind!r} "
+                    f"expects a number, got {value!r}"
+                ) from None
+        object.__setattr__(self, "params", tuple(sorted(normalized.items())))
+        family.validate(**self.resolved_params())
+
+    @classmethod
+    def of(cls, kind: str, **params) -> "RecoverySpec":
+        return cls(kind, tuple(params.items()))
+
+    def resolved_params(self) -> dict[str, float]:
+        """Family defaults overlaid with this spec's parameters."""
+        family = get_recovery_policy(self.kind)
+        out = {name: float(pd.default)
+               for name, pd in family.params.items()}
+        out.update(self.params)
+        return out
+
+    def build(self) -> RecoveryPolicy:
+        """A fresh policy instance (policies may hold per-run state)."""
+        return get_recovery_policy(self.kind)(**self.resolved_params())
+
+    def canonical(self) -> str:
+        """Compact string form, e.g. ``retry?base_s=2.0,max=5.0``."""
+        if not self.params:
+            return self.kind
+        parts = [f"{k}={v!r}" for k, v in self.params]
+        return f"{self.kind}?{','.join(parts)}"
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+
+# -- string grammar -----------------------------------------------------------
+
+def parse_recovery(text: str) -> RecoverySpec:
+    """Parse ``family[?key=value,…]`` into a :class:`RecoverySpec`."""
+    text = text.strip()
+    kind, sep, rest = text.partition("?")
+    kind = kind.strip()
+    if kind not in _RECOVERIES:
+        raise ValueError(
+            f"unknown recovery policy {kind!r}"
+            f"{_suggest(kind, _RECOVERIES)}"
+        )
+    if not sep:
+        return RecoverySpec(kind)
+    pairs = []
+    for item in rest.split(","):
+        key, eq, value = item.partition("=")
+        key, value = key.strip(), value.strip()
+        if not eq or not key or not value:
+            raise ValueError(
+                f"bad recovery parameter {item!r} in {text!r}; the "
+                "grammar is family?key=value,key=value"
+            )
+        pairs.append((key, value))
+    return RecoverySpec(kind, tuple(pairs))
+
+
+def recovery_spec(reference) -> RecoverySpec:
+    """The :class:`RecoverySpec` behind any recovery reference: a spec
+    or a grammar string."""
+    if isinstance(reference, RecoverySpec):
+        return reference
+    if isinstance(reference, str):
+        return parse_recovery(reference)
+    raise TypeError(
+        f"expected a RecoverySpec or string, got "
+        f"{type(reference).__name__}"
+    )
+
+
+def canonical_recovery(reference) -> str:
+    """The canonical string form of a recovery reference."""
+    return recovery_spec(reference).canonical()
+
+
+def split_recovery_list(text: str) -> list[str]:
+    """Split a comma-separated recovery list, keeping spec parameters
+    attached: ``"none,retry?max=5,base_s=0.5"`` →
+    ``["none", "retry?max=5,base_s=0.5"]``."""
+    parts: list[str] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if parts and "=" in token and "?" not in token and "?" in parts[-1]:
+            parts[-1] += "," + token
+        else:
+            parts.append(token)
+    return parts
+
+
+# -- built-in families --------------------------------------------------------
+
+@register_recovery
+class NoRecovery(RecoveryPolicy):
+    name = "none"
+    description = "fail the request on its first fault (no retries)"
+
+    def delay(self, req, attempt, rng):
+        return None
+
+
+@register_recovery
+class RetryRecovery(RecoveryPolicy):
+    name = "retry"
+    description = ("exponential backoff with seeded jitter; the request "
+                   "fails once max attempts are exhausted")
+    params = {
+        "max": RecoveryParam(3.0, "retry budget (attempts before failing)"),
+        "base_s": RecoveryParam(1.0, "first-retry backoff, seconds"),
+        "cap_s": RecoveryParam(30.0, "backoff ceiling, seconds"),
+    }
+
+    @classmethod
+    def validate(cls, *, max, base_s, cap_s):
+        if max != int(max) or max < 1:
+            raise ValueError(
+                f"retry max must be a positive integer, got {max}"
+            )
+        if base_s <= 0:
+            raise ValueError(f"retry base_s must be > 0, got {base_s}")
+        if cap_s < base_s:
+            raise ValueError(
+                f"retry cap_s must be >= base_s, got cap_s={cap_s} "
+                f"base_s={base_s}"
+            )
+
+    def delay(self, req, attempt, rng):
+        if attempt > int(self.p["max"]):
+            return None
+        backoff = min(self.p["cap_s"],
+                      self.p["base_s"] * 2.0 ** (attempt - 1))
+        # Decorrelating jitter in [0.5, 1.5) x backoff, from the run's
+        # fault generator (deterministic in event order).
+        return backoff * (0.5 + float(rng.random()))
+
+
+@register_recovery
+class MigrateRecovery(RecoveryPolicy):
+    name = "migrate"
+    description = ("immediate re-dispatch through the run's scheduling "
+                   "policies (the crashed replica is excluded while "
+                   "down); fails after max attempts")
+    params = {
+        "max": RecoveryParam(5.0, "migration budget (attempts before "
+                                  "failing)"),
+    }
+
+    @classmethod
+    def validate(cls, *, max):
+        if max != int(max) or max < 1:
+            raise ValueError(
+                f"migrate max must be a positive integer, got {max}"
+            )
+
+    def delay(self, req, attempt, rng):
+        if attempt > int(self.p["max"]):
+            return None
+        return 0.0

@@ -83,6 +83,21 @@ class SimRequest:
     #: Whether a non-swapping placement policy refused admission (the
     #: request prefilled but never decoded; it carries no completion).
     rejected: bool = False
+    #: Whether the recovery policy gave up on this request (fault
+    #: injection only; the request carries no completion).
+    failed: bool = False
+    #: Times this request re-entered the serving path after a fault.
+    n_retries: int = 0
+    #: Processing seconds thrown away by faults (crashed prefill work,
+    #: flapped transfers, lost decode progress).
+    wasted_compute_s: float = 0.0
+    #: Monotonic attempt counter guarding stale per-request events
+    #: (``transfer_done`` from before a crash must not land).
+    attempt: int = 0
+    #: Set on lost-KV recovery when a KV store is configured: the next
+    #: prefill probes the store for the *whole* prompt (the crashed
+    #: attempt's writeback may serve it), not just the session prefix.
+    kv_refetch: bool = False
     tokens_generated: int = 0
     #: Decode-memory bytes reserved for this request.
     reserved_bytes: float = 0.0
@@ -120,12 +135,72 @@ class SimRequest:
             raise ValueError(f"request {self.request_id} has not finished")
         return self.finish - self.arrival
 
+    def busy_s(self) -> float:
+        """Processing seconds accrued so far (every bucket but queue)."""
+        return (self.prefill_s + self.quant_s + self.comm_s + self.decode_s
+                + self.dequant_s + self.approx_s)
+
     @property
     def queue_s(self) -> float:
-        """Time not attributable to any processing bucket."""
-        busy = (self.prefill_s + self.quant_s + self.comm_s + self.decode_s
-                + self.dequant_s + self.approx_s)
-        return max(0.0, self.jct - busy)
+        """Time not attributable to any processing bucket.
+
+        Under fault injection this also absorbs retry backoff waits and
+        any earlier attempts' processing time (attempts wiped by
+        :meth:`reset_for_retry` re-land here; their cost is tracked
+        separately in ``wasted_compute_s``).
+        """
+        return max(0.0, self.jct - self.busy_s())
+
+    @property
+    def recovered(self) -> bool:
+        """Finished, but only after at least one fault retry."""
+        return self.done and self.n_retries > 0
+
+    @property
+    def terminal(self) -> str:
+        """The request's terminal state: ``finished`` / ``rejected`` /
+        ``failed`` (``in_flight`` while the simulation still runs)."""
+        if self.done:
+            return "finished"
+        if self.failed:
+            return "failed"
+        if self.rejected:
+            return "rejected"
+        return "in_flight"
+
+    def reset_for_retry(self, wasted_s: float | None = None) -> None:
+        """Wipe all progress before a from-scratch retry (lost KV).
+
+        ``wasted_s`` overrides the wasted-work charge for this attempt
+        (a mid-prefill crash prorates the batch's planned time, since
+        the buckets hold the full batch duration up front); by default
+        the attempt's accrued processing time is charged.
+        """
+        self.wasted_compute_s += self.busy_s() if wasted_s is None \
+            else wasted_s
+        self.prefill_replica = -1
+        self.decode_replica = -1
+        self.prefill_start = -1.0
+        self.prefill_end = -1.0
+        self.transfer_end = -1.0
+        self.decode_start = -1.0
+        self.prefill_s = 0.0
+        self.quant_s = 0.0
+        self.comm_s = 0.0
+        self.decode_s = 0.0
+        self.dequant_s = 0.0
+        self.approx_s = 0.0
+        self.kv_access_s = 0.0
+        self.prefix_hit_tokens = 0
+        self.cache_read_s = 0.0
+        self.cache_tier = None
+        self.swapped = False
+        self.tokens_generated = 0
+        self.reserved_bytes = 0.0
+        self._token_chunks = []
+        self._token_times = None
+        self._tbt_gaps = None
+        self._decomposition = None
 
     # -- serving metrics (TTFT / TBT) -----------------------------------------
 
@@ -235,17 +310,22 @@ class SimRequest:
         return dict(self._decomposition)
 
     def record(self) -> dict:
-        """Flat JSON-ready record of this request (artifact schema v2).
+        """Flat JSON-ready record of this request (artifact schema v4).
 
         Keys are stable: downstream tooling (``repro.api.artifact``,
-        ``repro.cli export``) depends on them.  Schema v2 adds the
+        ``repro.cli export``) depends on them.  Schema v2 added the
         serving metrics (``ttft_s``, ``tbt_*``, ``normalized_latency_s``)
-        on top of the v1 keys, which are unchanged.  When the simulator
-        runs with a KV store / selection policy (schema v3 runs), four
-        extra keys appear — ``method_selected``, ``prefix_hit_tokens``,
-        ``cache_read_s``, ``cache_tier`` — on every record (the engine
-        stamps ``method`` on all requests in that mode, so record shape
-        stays uniform within a run).
+        on top of the v1 keys.  When the simulator runs with a KV store
+        / selection policy (schema v3 runs), four extra keys appear —
+        ``method_selected``, ``prefix_hit_tokens``, ``cache_read_s``,
+        ``cache_tier`` — on every record (the engine stamps ``method``
+        on all requests in that mode, so record shape stays uniform
+        within a run).  Schema v4 records *every* terminal request —
+        finished, rejected and failed — with a ``terminal`` key plus
+        reliability accounting (``n_retries``, ``wasted_compute_s``,
+        ``recovered``); the completion-dependent keys (``jct_s``,
+        ``decomposition_s``, ``tbt_*``, …) appear only on finished
+        records, and ``ttft_s`` on any record that prefilled.
         """
         rec = {
             "request_id": self.request_id,
@@ -255,16 +335,25 @@ class SimRequest:
             "prefill_replica": self.prefill_replica,
             "decode_replica": self.decode_replica,
             "swapped": self.swapped,
-            "jct_s": self.jct,
-            "decomposition_s": self.decomposition(),
-            "kv_access_s": self.kv_access_s,
-            "ttft_s": self.ttft,
-            "tbt_mean_s": self.mean_tbt(),
-            "tbt_p99_s": self.tbt_percentile(99),
-            "tbt_max_s": float(self.tbt_gaps().max())
-            if self.tbt_gaps().size else 0.0,
-            "normalized_latency_s": self.normalized_latency,
+            "terminal": self.terminal,
+            "n_retries": self.n_retries,
+            "wasted_compute_s": self.wasted_compute_s,
+            "recovered": self.recovered,
         }
+        if self.done:
+            rec.update({
+                "jct_s": self.jct,
+                "decomposition_s": self.decomposition(),
+                "kv_access_s": self.kv_access_s,
+                "ttft_s": self.ttft,
+                "tbt_mean_s": self.mean_tbt(),
+                "tbt_p99_s": self.tbt_percentile(99),
+                "tbt_max_s": float(self.tbt_gaps().max())
+                if self.tbt_gaps().size else 0.0,
+                "normalized_latency_s": self.normalized_latency,
+            })
+        elif self.prefill_end >= 0.0:
+            rec["ttft_s"] = self.ttft
         if self.method is not None:
             rec["method_selected"] = self.method.name
             rec["prefix_hit_tokens"] = self.prefix_hit_tokens

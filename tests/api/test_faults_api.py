@@ -1,0 +1,198 @@
+"""Fault/recovery plumbing through Scenario, Sweep, Runner, artifacts
+and the CLI (schema v4)."""
+
+import json
+
+import pytest
+
+from repro.api import Runner, RunArtifact, Scenario, Sweep, compare_artifacts
+from repro.api.runner import resolve
+from repro.cli import main
+
+FAULTED = Scenario(methods=("baseline",), dataset="imdb", n_requests=14,
+                   seed=3, faults="replica_crash?mttf=20,mttr=5",
+                   recovery="retry?base_s=0.5")
+
+
+class TestScenarioFields:
+    def test_default_omits_fault_fields(self):
+        """Slug/JSON stability: a defaulted scenario serializes exactly
+        as it did before the fields existed."""
+        data = Scenario().to_dict()
+        assert "faults" not in data and "recovery" not in data
+
+    def test_round_trip_and_canonicalization(self):
+        s = Scenario(faults="replica_crash?mttr=5,mttf=20",
+                     recovery="retry?max=5,base_s=0.5")
+        assert s.faults == "replica_crash?mttf=20.0,mttr=5.0"
+        assert s.recovery == "retry?base_s=0.5,max=5.0"
+        loaded = Scenario.from_json(s.to_json())
+        assert loaded.faults == s.faults
+        assert loaded.recovery == s.recovery
+        assert "faults=replica_crash?mttf=20.0,mttr=5.0" in s.describe()
+        assert "recovery=retry?base_s=0.5,max=5.0" in s.describe()
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(faults="replica_crash?mttf=0")
+        with pytest.raises(ValueError):
+            Scenario(recovery="retry?max=0")
+
+    def test_unknown_families_kept_verbatim(self):
+        """Artifacts referencing custom fault/recovery families must
+        load even where the family is not registered."""
+        s = Scenario(faults="cosmic_rays?rate=1", recovery="pray")
+        assert s.faults == "cosmic_rays?rate=1"
+        assert s.recovery == "pray"
+
+    def test_resolve_plumbs_fault_fields(self):
+        resolved = resolve(FAULTED)
+        config = resolved.configs["baseline"]
+        assert config.faults.canonical() == FAULTED.faults
+        assert config.recovery.canonical() == FAULTED.recovery
+        plain = resolve(FAULTED.replace(faults=None, recovery=None))
+        assert plain.configs["baseline"].faults is None
+        assert plain.configs["baseline"].recovery is None
+
+
+class TestParallelDeterminism:
+    """Fault timelines and retry jitter re-derive identically inside
+    forked sweep workers — parallel runs stay bit-identical."""
+
+    def test_parallel_is_bit_identical_to_serial(self):
+        serial = Runner().run(FAULTED.replace(methods=("baseline", "hack")))
+        parallel = Runner(workers=4).run(
+            FAULTED.replace(methods=("baseline", "hack")))
+        assert parallel.to_json() == serial.to_json()
+        assert compare_artifacts(parallel, serial)["equal"]
+
+    def test_sweep_with_faults_axis_parallel_equals_serial(self):
+        sweep = Sweep(FAULTED, axes={
+            "faults": [None, "replica_crash?mttf=20,mttr=5",
+                       "transfer_flap?p_fail=0.3"],
+            "recovery": [None, "none"],
+        })
+        serial = Runner().run_sweep(sweep)
+        parallel = Runner(workers=4).run_sweep(sweep)
+        assert [a.to_json() for a in serial] == \
+            [a.to_json() for a in parallel]
+
+
+class TestArtifactV4:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return Runner().run(FAULTED)
+
+    def test_summary_carries_fault_block(self, artifact):
+        summary = artifact.methods["baseline"].summary
+        assert "n_failed" in summary
+        assert "faults" in summary
+        assert 0.0 < summary["faults"]["availability"] <= 1.0
+
+    def test_records_carry_terminal_state(self, artifact):
+        for rec in artifact.methods["baseline"].requests:
+            assert rec["terminal"] in ("finished", "rejected", "failed")
+            assert "n_retries" in rec
+
+    def test_round_trip(self, artifact, tmp_path):
+        path = artifact.save(tmp_path)
+        loaded = RunArtifact.load(path)
+        assert loaded.to_json() == artifact.to_json()
+        assert loaded.scenario.faults == FAULTED.faults
+
+    def test_compare_flags_terminal_flip(self, artifact):
+        other = RunArtifact.from_json(artifact.to_json())
+        record = other.methods["baseline"].requests[0]
+        record["terminal"] = "failed"
+        record.pop("jct_s", None)
+        diff = compare_artifacts(artifact, other)
+        assert not diff["equal"]
+        assert "requests.jct_s" in diff["methods"]["baseline"]
+
+    def test_compare_flags_fault_metric_drift(self, artifact):
+        other = RunArtifact.from_json(artifact.to_json())
+        other.methods["baseline"].summary["faults"]["availability"] *= 0.5
+        diff = compare_artifacts(artifact, other)
+        assert "faults.availability" in diff["methods"]["baseline"]
+
+    def test_v3_shaped_artifact_still_loads(self, artifact):
+        """A pre-fault file (no terminal keys, finished-only records)
+        must load and compare cleanly against itself."""
+        v4_only = ("terminal", "n_retries", "wasted_compute_s",
+                   "recovered")
+        data = json.loads(
+            Runner().run(FAULTED.replace(faults=None,
+                                         recovery=None)).to_json())
+        data["schema_version"] = 3
+        for run in data["methods"].values():
+            run["summary"].pop("n_failed", None)
+            run["requests"] = [
+                {k: v for k, v in r.items() if k not in v4_only}
+                for r in run["requests"]]
+        loaded = RunArtifact.from_dict(data)
+        assert compare_artifacts(loaded, loaded)["equal"]
+
+
+class TestCliFaults:
+    def test_run_flags(self, capsys):
+        assert main(["run", "--methods", "baseline", "--dataset", "imdb",
+                     "--n-requests", "12", "--seed", "3",
+                     "--faults", "replica_crash?mttf=20,mttr=5",
+                     "--recovery", "migrate", "--json"]) == 0
+        artifact = json.loads(capsys.readouterr().out)
+        assert artifact["scenario"]["faults"] == \
+            "replica_crash?mttf=20.0,mttr=5.0"
+        assert artifact["scenario"]["recovery"] == "migrate"
+        summary = artifact["methods"]["baseline"]["summary"]
+        assert "faults" in summary
+
+    def test_sweep_axis_keeps_plan_params_attached(self, tmp_path):
+        assert main(["sweep", "--methods", "hack", "--dataset", "imdb",
+                     "--n-requests", "10", "--axis",
+                     "faults=none,replica_crash?mttf=30,mttr=5"
+                     "+transfer_flap",
+                     "--out", str(tmp_path)]) == 0
+        files = sorted(tmp_path.glob("*.json"))
+        assert len(files) == 2
+        plans = sorted(json.loads(p.read_text())["scenario"]
+                       .get("faults", "none") for p in files)
+        assert plans == \
+            ["none", "replica_crash?mttf=30.0,mttr=5.0+transfer_flap"]
+
+    def test_unknown_family_is_clean_cli_error(self, capsys):
+        assert main(["run", "--methods", "baseline", "--n-requests", "10",
+                     "--faults", "meteor_strike"]) == 2
+        assert "unknown fault family" in capsys.readouterr().err
+
+    def test_list_shows_fault_catalogs(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert "replica_crash" in catalog["fault_families"]
+        assert "retry" in catalog["recovery_policies"]
+        assert "faults" in catalog["experiments"]
+
+    def test_outage_without_store_is_clean_cli_error(self, capsys):
+        assert main(["run", "--methods", "baseline", "--n-requests", "10",
+                     "--faults", "kvstore_outage"]) == 2
+        assert "kvstore" in capsys.readouterr().err
+
+
+class TestFaultsExperiment:
+    def test_grid_covers_every_family_and_policy(self):
+        from repro.experiments.faults import (
+            FAULT_PLANS, FAULT_SWEEP, RECOVERIES)
+        cells = FAULT_SWEEP.expand()
+        assert len(cells) == len(FAULT_PLANS) * len(RECOVERIES)
+        families = {p.partition("?")[0] for p in FAULT_PLANS}
+        assert {"replica_crash", "nic_degrade", "transfer_flap",
+                "kvstore_outage"} <= families
+        for cell in cells:
+            assert cell.kvstore is not None   # outage rows need a store
+
+    def test_single_cell_runs(self):
+        from repro.experiments import faults as faults_experiment
+
+        study = faults_experiment.run(scale=0.01)
+        assert study.table.rows
+        healthy = study.healthy()
+        assert healthy.availability() == 1.0

@@ -1,0 +1,117 @@
+"""Dark (unreachable) KV-store tiers — the kvstore_outage fault's
+store-side semantics."""
+
+import pytest
+
+from repro.kvstore import TierDef, TieredKVStore
+from repro.kvstore.spec import LRUEviction
+
+BPT = 1.0
+
+
+def _store(caps=(100, 200, 400)):
+    tiers = [TierDef(f"t{i}", float(c), read_gb_s=1.0, write_gb_s=1.0)
+             for i, c in enumerate(caps)]
+    return TieredKVStore(tiers, LRUEviction())
+
+
+class TestDarkReads:
+    def test_dark_owned_entry_misses(self):
+        store = _store()
+        store.put("s0", 80, BPT, "hack", now=0.0)
+        store.set_dark("t0", True)
+        hit = store.lookup("s0", 80, now=1.0)
+        assert not hit.hit
+        assert store.n_dark_misses == 1
+
+    def test_entry_survives_the_outage(self):
+        store = _store()
+        store.put("s0", 80, BPT, "hack", now=0.0)
+        store.set_dark("t0", True)
+        assert not store.lookup("s0", 80, now=1.0).hit
+        store.set_dark("t0", False)
+        hit = store.lookup("s0", 80, now=2.0)
+        assert hit.hit and hit.tokens == 80
+
+    def test_live_tier_entries_unaffected(self):
+        store = _store(caps=(50, 200, 400))
+        store.put("s0", 80, BPT, "hack", now=0.0)   # too big for t0 ->
+        assert store._index["s0"].tier == 1         # lands in t1
+        store.set_dark("t0", True)
+        assert store.lookup("s0", 80, now=1.0).hit
+        assert store.n_dark_misses == 0
+
+
+class TestDarkWrites:
+    def test_new_puts_land_in_top_live_tier(self):
+        store = _store()
+        store.set_dark("t0", True)
+        store.put("s0", 80, BPT, "hack", now=0.0)
+        assert store._index["s0"].tier == 1
+
+    def test_all_tiers_dark_drops_the_write(self):
+        store = _store()
+        for name in ("t0", "t1", "t2"):
+            store.set_dark(name, True)
+        store.put("s0", 80, BPT, "hack", now=0.0)
+        assert "s0" not in store._index
+        assert store.n_dark_drops == 1
+
+    def test_extending_a_stranded_entry_drops(self):
+        store = _store()
+        store.put("s0", 50, BPT, "hack", now=0.0)
+        store.set_dark("t0", True)
+        store.put("s0", 90, BPT, "hack", now=1.0)
+        assert store._index["s0"].tokens == 50      # extension lost
+        assert store.n_dark_drops == 1
+
+    def test_demotion_skips_dark_tier(self):
+        store = _store(caps=(100, 200, 400))
+        store.set_dark("t1", True)
+        store.put("a", 80, BPT, "hack", now=0.0)
+        store.put("b", 80, BPT, "hack", now=1.0)    # t0 over capacity
+        tiers = sorted((e.key, e.tier) for e in store._index.values())
+        assert tiers == [("a", 2), ("b", 0)]        # victim skipped t1
+
+    def test_promotion_targets_top_live_tier(self):
+        store = _store(caps=(100, 200, 400))
+        store.set_dark("t0", True)
+        store.put("s0", 80, BPT, "hack", now=0.0)   # lands in t1
+        store.set_dark("t1", True)
+        store.set_dark("t0", False)
+        # t1 is dark: its entry misses; nothing to promote.
+        assert not store.lookup("s0", 80, now=1.0).hit
+        store.set_dark("t1", False)
+        store.lookup("s0", 80, now=2.0)             # hit promotes to t0
+        assert store._index["s0"].tier == 0
+
+
+class TestDarkBookkeeping:
+    def test_outages_stack(self):
+        store = _store()
+        store.set_dark("t0", True)
+        store.set_dark("t0", True)      # overlapping outage specs
+        store.set_dark("t0", False)
+        assert store._is_dark(0)        # still one outage active
+        store.set_dark("t0", False)
+        assert not store._is_dark(0)
+
+    def test_unbalanced_repair_rejected(self):
+        store = _store()
+        with pytest.raises(ValueError, match="not dark"):
+            store.set_dark("t0", False)
+
+    def test_unknown_tier_rejected(self):
+        store = _store()
+        with pytest.raises(ValueError, match="unknown tier"):
+            store.set_dark("nvme", True)
+
+    def test_stats_surface_dark_counters(self):
+        store = _store()
+        stats = store.stats()
+        assert stats["dark_misses"] == 0 and stats["dark_drops"] == 0
+        store.put("s0", 80, BPT, "hack", now=0.0)
+        store.set_dark("t0", True)
+        store.lookup("s0", 80, now=1.0)
+        stats = store.stats()
+        assert stats["dark_misses"] == 1
