@@ -10,16 +10,20 @@ the store's pure bookkeeping overhead on the hot path.  A third
 measurement arms the fault machinery with a plan whose only event sits
 far past the horizon — nothing ever fires, so the wall-clock delta is
 the fault path's pure overhead, and the results must stay identical.
+A fourth measurement arms the elastic subsystem with the ``static``
+autoscaler and ``accept_all`` admission — the autoscaler never
+evaluates and the admission never rejects, so the per-request records
+must stay identical and the delta is the elastic path's pure overhead.
 
 Plain script (no pytest fixtures) so CI can smoke it with only numpy
 installed::
 
     PYTHONPATH=src python benchmarks/bench_sim_throughput.py --scale 0.1 \
-        --bench-json BENCH_7.json
+        --bench-json BENCH_8.json
 
 ``--bench-json`` writes the numbers machine-readably (per-method
-tokens/s and span-vs-token speedup, plus the kvstore and fault-path
-overhead blocks) for CI artifact upload.  There are deliberately no timing assertions —
+tokens/s and span-vs-token speedup, plus the kvstore, fault-path and
+elastic-path overhead blocks) for CI artifact upload.  There are deliberately no timing assertions —
 the speedup is printed for the record; only the span-vs-token
 equivalence is asserted.
 """
@@ -79,6 +83,7 @@ def run(scale: float = 1.0, dataset: str = "cocktail",
         }
     record["kvstore_overhead"] = _kvstore_overhead(runner, base)
     record["fault_overhead"] = _fault_overhead(runner, base)
+    record["elastic_overhead"] = _elastic_overhead(runner, base)
     return table, record
 
 
@@ -136,6 +141,37 @@ def _fault_overhead(runner: Runner, base: Scenario) -> dict:
     }
 
 
+def _elastic_overhead(runner: Runner, base: Scenario) -> dict:
+    """The elastic machinery's cost when it never acts.
+
+    The ``static`` autoscaler declares it never evaluates (zero heap
+    events) and ``accept_all`` admits every arrival unchanged, so the
+    armed run must produce byte-identical per-request records; the
+    wall-clock delta is the cost of the replica-state checks and
+    GPU-hour bookkeeping alone.
+    """
+    method = "hack"
+    plain = runner.run(base.replace(methods=(method,)))
+    armed = runner.run(base.replace(methods=(method,),
+                                    autoscaler="static",
+                                    admission="accept_all"))
+    if plain.methods[method].requests != armed.methods[method].requests:
+        raise AssertionError(
+            "armed-but-idle elastic config changed simulation results")
+    wall_plain = plain.perf[method]["wall_s"]
+    wall_armed = armed.perf[method]["wall_s"]
+    stats = armed.methods[method].summary["elastic"]
+    return {
+        "method": method,
+        "scaling_events": stats["scaling_events"],
+        "gpu_hours": stats["gpu_hours"],
+        "wall_s_plain": wall_plain,
+        "wall_s_elastic_armed": wall_armed,
+        "overhead_frac": wall_armed / wall_plain - 1.0
+        if wall_plain > 0 else 0.0,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0,
@@ -160,6 +196,12 @@ def main(argv: list[str] | None = None) -> int:
           f"{fover['overhead_frac'] * 100:.1f}% wall "
           f"({fover['wall_s_plain']:.3f}s -> "
           f"{fover['wall_s_faults_armed']:.3f}s)")
+    eover = record["elastic_overhead"]
+    print(f"elastic-path overhead (static autoscaler, "
+          f"{eover['scaling_events']} scaling events): "
+          f"{eover['overhead_frac'] * 100:.1f}% wall "
+          f"({eover['wall_s_plain']:.3f}s -> "
+          f"{eover['wall_s_elastic_armed']:.3f}s)")
     if args.bench_json:
         path = Path(args.bench_json)
         path.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")

@@ -4,10 +4,10 @@ A :class:`RunArtifact` is the durable output of running one
 :class:`~repro.api.scenario.Scenario`: per-method summaries (JCT stats,
 the Fig. 10 decomposition, TTFT/TBT percentiles, SLO goodput, peak
 memory, swap counts, fault/recovery accounting) plus per-request
-records, under a stable schema (``hack-repro/run-artifact`` v4; v1–v3
-files — which predate the serving metrics, trace block and reliability
-accounting respectively — still load).  Artifacts can be saved to
-disk, loaded back,
+records, under a stable schema (``hack-repro/run-artifact`` v5; v1–v4
+files — which predate the serving metrics, trace block, reliability
+accounting and cost-efficiency metrics respectively — still load).
+Artifacts can be saved to disk, loaded back,
 rendered as tables and compared — the diffable, cacheable counterpart
 of the pretty-printed experiment output.
 
@@ -41,15 +41,21 @@ SCHEMA_NAME = "hack-repro/run-artifact"
 #: requests in the record list, the ``n_failed`` summary count and —
 #: on runs that configure fault injection — the ``faults`` summary
 #: block (availability, wasted-work fraction, goodput under faults).
-#: v1–v3 files still load (their summaries simply lack the newer keys
-#: and their records only cover finished requests).
-SCHEMA_VERSION = 4
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
+#: v5 adds the cost-efficiency pair ``gpu_hours`` /
+#: ``goodput_per_gpu_hour`` to every summary (static fleets backfill
+#: replicas × makespan) and — on runs that configure an autoscaler or
+#: admission policy — the ``elastic`` summary block (scaling-event
+#: counts, mean/peak powered replicas, accrued GPU-hours, shed/degraded
+#: counts).  v1–v4 files still load (their summaries simply lack the
+#: newer keys and pre-v4 records only cover finished requests).
+SCHEMA_VERSION = 5
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
 
 #: Scalar summary keys surfaced by ``summary_table`` (the compact view).
 #: v2 keys render as "-" for v1 artifacts that predate them.
 SUMMARY_METRICS = ("avg_jct_s", "p50_jct_s", "p99_jct_s",
                    "p99_ttft_s", "p99_tbt_s", "slo_goodput_rps",
+                   "goodput_per_gpu_hour",
                    "peak_memory_fraction", "n_swapped", "n_rejected",
                    "n_failed")
 
@@ -65,7 +71,9 @@ _COMPARE_SCALARS = ("n_requests", "avg_jct_s", "p50_jct_s", "p95_jct_s",
                     "mean_normalized_latency_s", "slo_ttft_s", "slo_tbt_s",
                     "slo_attainment", "slo_goodput_rps",
                     # schema v4 reliability count
-                    "n_failed")
+                    "n_failed",
+                    # schema v5 cost-efficiency metrics
+                    "gpu_hours", "goodput_per_gpu_hour")
 
 
 @dataclass
@@ -272,6 +280,20 @@ def compare_artifacts(a: RunArtifact, b: RunArtifact,
             method_diff["faults"] = {"a": fa is not None,
                                      "b": fb is not None,
                                      "rel_diff": 1.0}
+        ea, eb = sa.get("elastic"), sb.get("elastic")
+        if ea is not None and eb is not None:
+            for metric in ("n_scale_ups", "n_scale_downs",
+                           "scaling_events", "mean_prefill_replicas",
+                           "peak_prefill_replicas",
+                           "mean_decode_replicas",
+                           "peak_decode_replicas", "mean_utilization",
+                           "gpu_hours", "goodput_per_gpu_hour",
+                           "n_shed", "n_degraded"):
+                check(f"elastic.{metric}", ea[metric], eb[metric])
+        elif (ea is None) != (eb is None):
+            method_diff["elastic"] = {"a": ea is not None,
+                                      "b": eb is not None,
+                                      "rel_diff": 1.0}
         da, db = sa["mean_decomposition_s"], sb["mean_decomposition_s"]
         for bucket in sorted(set(da) | set(db)):
             check(f"mean_decomposition_s.{bucket}",

@@ -101,6 +101,8 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
             selection=scenario.selection,
             faults=scenario.faults,
             recovery=scenario.recovery,
+            autoscaler=scenario.autoscaler,
+            admission=scenario.admission,
         )
         overrides = {}
         if scenario.n_prefill_replicas is not None:

@@ -45,6 +45,14 @@ from ..methods import (
     split_method_list,
 )
 from ..model.config import ModelSpec
+from ..sim.elastic import (
+    AdmissionSpec,
+    AutoscalerSpec,
+    canonical_admission,
+    canonical_autoscaler,
+    has_admission_policy,
+    has_autoscaler_policy,
+)
 from ..sim.faults import (
     FaultPlan,
     FaultSpec,
@@ -173,6 +181,17 @@ class Scenario:
     #: :class:`~repro.sim.recovery.RecoverySpec`; ``None`` means the
     #: default ``retry`` policy when faults are set.
     recovery: str | None = None
+    #: Autoscaler policy: a grammar string (``"static"``,
+    #: ``"reactive?queue_hi=6.0"``, ``"schedule?plan=0:1.0|450:0.5"``)
+    #: or an :class:`~repro.sim.elastic.AutoscalerSpec`; ``None`` keeps
+    #: the historical fixed fleet (and serializes/slugs exactly as
+    #: before the field existed).
+    autoscaler: str | None = None
+    #: Admission policy: a grammar string (``"accept_all"``,
+    #: ``"shed?queue_max=48.0"``, ``"degrade?tier=1.0"``) or an
+    #: :class:`~repro.sim.elastic.AdmissionSpec`; ``None`` accepts
+    #: every arrival unchanged.
+    admission: str | None = None
     #: Overrides on DEFAULT_CALIBRATION, e.g. {"net_efficiency": 0.25}.
     calibration: tuple[tuple[str, float], ...] | None = None
     #: Optional human label; never affects resolution, equality or the
@@ -269,6 +288,24 @@ class Scenario:
             else:
                 recovery = recovery.strip()
             object.__setattr__(self, "recovery", recovery)
+        if self.autoscaler is not None:
+            autoscaler = self.autoscaler
+            if isinstance(autoscaler, AutoscalerSpec) \
+                    or not isinstance(autoscaler, str) \
+                    or has_autoscaler_policy(autoscaler):
+                autoscaler = canonical_autoscaler(autoscaler)
+            else:
+                autoscaler = autoscaler.strip()
+            object.__setattr__(self, "autoscaler", autoscaler)
+        if self.admission is not None:
+            admission = self.admission
+            if isinstance(admission, AdmissionSpec) \
+                    or not isinstance(admission, str) \
+                    or has_admission_policy(admission):
+                admission = canonical_admission(admission)
+            else:
+                admission = admission.strip()
+            object.__setattr__(self, "admission", admission)
 
     # -- derived views --------------------------------------------------------
 
@@ -294,7 +331,8 @@ class Scenario:
         """A JSON-ready dict (calibration as a plain mapping).
 
         ``step_mode``, ``arrival``, ``scheduler``, ``kvstore``,
-        ``selection``, ``faults`` and ``recovery`` are emitted only
+        ``selection``, ``faults``, ``recovery``, ``autoscaler`` and
+        ``admission`` are emitted only
         when set: a defaulted scenario serializes exactly as it did
         before the fields existed, so schema readers predating them
         still load such artifacts (and slugs of pre-existing scenarios
@@ -305,7 +343,8 @@ class Scenario:
         out["calibration"] = (dict(self.calibration)
                               if self.calibration else None)
         for optional in ("step_mode", "arrival", "scheduler", "kvstore",
-                         "selection", "faults", "recovery"):
+                         "selection", "faults", "recovery", "autoscaler",
+                         "admission"):
             if out[optional] is None:
                 del out[optional]
         return out
@@ -359,7 +398,7 @@ class Scenario:
                       "n_prefill_replicas", "n_decode_replicas",
                       "activation_overhead", "step_mode", "arrival",
                       "scheduler", "kvstore", "selection", "faults",
-                      "recovery"):
+                      "recovery", "autoscaler", "admission"):
             value = getattr(self, fname)
             if value is not None and (fname != "scale" or value != 1.0):
                 bits.append(f"{fname}={value}")

@@ -48,6 +48,7 @@ from .experiments import (
     fig14_scalability,
     faults as faults_experiment,
     kvstore as kvstore_experiment,
+    scale as scale_experiment,
     scheduling,
     sec3_fp_formats,
     slo_goodput,
@@ -60,6 +61,8 @@ from .kvstore.spec import eviction_policies, kvstore_families, \
     split_kvstore_list
 from .methods import METHODS, method_families, split_method_list
 from .model.config import MODEL_LETTERS as MODEL_REGISTRY
+from .sim.elastic import admission_policies, autoscaler_policies, \
+    split_admission_list, split_autoscaler_list
 from .sim.faults import fault_families, split_faults_list
 from .sim.recovery import recovery_policies, split_recovery_list
 from .sim.scheduling import dispatch_policies, placement_policies, \
@@ -133,6 +136,10 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     "faults": ExperimentSpec(
         "fault injection × recovery policies under bursty traffic",
         lambda s, r: faults_experiment.run(scale=s, runner=r)),
+    "scale": ExperimentSpec(
+        "autoscaler × admission over a diurnal day "
+        "(goodput per GPU-hour)",
+        lambda s, r: scale_experiment.run(scale=s, runner=r)),
 }
 
 #: Dataset axis used by the default ``sweep`` grid (Fig. 9 style).
@@ -220,6 +227,19 @@ def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
                             "retry?max=3,base_s=1.0, migrate, or none "
                             "(see `list`; default retry — only active "
                             "when --faults is set)")
+    group.add_argument("--autoscaler", default=None,
+                       metavar="POLICY",
+                       help="autoscaler policy: static, "
+                            "reactive?queue_hi=8,queue_lo=1, "
+                            "slo?target=0.9, or "
+                            "schedule?plan=0:1.0|450:0.5 (see `list`; "
+                            "default keeps the fixed fleet)")
+    group.add_argument("--admission", default=None,
+                       metavar="POLICY",
+                       help="admission policy: accept_all, "
+                            "shed?queue_max=64, or "
+                            "degrade?tier=1,method=hack_int4 (see "
+                            "`list`; default accepts every arrival)")
     group.add_argument("--calib", action="append", default=[],
                        metavar="KEY=VALUE",
                        help="calibration override (repeatable)")
@@ -271,6 +291,8 @@ def _scenario_from_args(args, scale: float) -> Scenario:
         selection=args.selection,
         faults=args.faults,
         recovery=args.recovery,
+        autoscaler=args.autoscaler,
+        admission=args.admission,
         calibration=calibration,
     )
 
@@ -306,6 +328,14 @@ def _parse_axis(spec: str) -> tuple[str, tuple]:
                             for v in split_faults_list(raw))
     if field == "recovery":
         return field, tuple(split_recovery_list(raw))
+    if field == "autoscaler":
+        # autoscaler specs: "static,reactive?queue_hi=6,queue_lo=1" is
+        # two axis values ("none" maps to no autoscaler).
+        return field, tuple(None if v == "none" else v
+                            for v in split_autoscaler_list(raw))
+    if field == "admission":
+        return field, tuple(None if v == "none" else v
+                            for v in split_admission_list(raw))
     return field, tuple(_coerce(token) for token in raw.split(","))
 
 
@@ -579,6 +609,20 @@ def _cmd_list(args) -> int:
                               for p, pd in cls.params.items()}}
             for name, cls in recovery_policies().items()
         },
+        "autoscaler_policies": {
+            name: {"description": cls.description,
+                   "signature": cls.signature(),
+                   "params": {p: pd.default
+                              for p, pd in cls.params.items()}}
+            for name, cls in autoscaler_policies().items()
+        },
+        "admission_policies": {
+            name: {"description": cls.description,
+                   "signature": cls.signature(),
+                   "params": {p: pd.default
+                              for p, pd in cls.params.items()}}
+            for name, cls in admission_policies().items()
+        },
         "prefill_gpus": list(fig1_motivation.GPUS),
     }
     if args.json:
@@ -621,6 +665,12 @@ def _cmd_list(args) -> int:
         print(f"  {cls.signature():42s} {cls.description}")
     print("recovery policies (--recovery, same grammar):")
     for name, cls in recovery_policies().items():
+        print(f"  {cls.signature():42s} {cls.description}")
+    print("autoscaler policies (--autoscaler, same grammar):")
+    for name, cls in autoscaler_policies().items():
+        print(f"  {cls.signature():42s} {cls.description}")
+    print("admission policies (--admission, same grammar):")
+    for name, cls in admission_policies().items():
         print(f"  {cls.signature():42s} {cls.description}")
     return 0
 

@@ -8,6 +8,7 @@ from . import (
     fig14_scalability,
     faults,
     kvstore,
+    scale,
     scheduling,
     sec3_fp_formats,
     slo_goodput,
@@ -24,6 +25,7 @@ __all__ = [
     "fig14_scalability",
     "faults",
     "kvstore",
+    "scale",
     "scheduling",
     "sec3_fp_formats",
     "slo_goodput",

@@ -66,6 +66,8 @@ from ..perfmodel.prefill import prefill_time
 from ..perfmodel.transfer import DEFAULT_PIPELINE_STAGES, kv_wire_bytes, \
     make_network_model
 from ..workload.traces import TraceRequest
+from .elastic import AdmissionSpec, AutoscalerSpec, DEFAULT_AUTOSCALER, \
+    admission_spec, autoscaler_spec
 from .faults import FaultPlan, faults_spec
 from .recovery import DEFAULT_RECOVERY, RecoverySpec, recovery_spec
 from .request import BUCKETS, SimRequest, nearest_rank
@@ -151,6 +153,18 @@ class ClusterConfig:
     #: ``retry`` policy).  Accepts a
     #: :class:`~repro.sim.recovery.RecoverySpec` or grammar string.
     recovery: RecoverySpec | None = None
+    #: Autoscaler powering provisioned replicas up and down (``None``
+    #: — the default — keeps the historical fixed fleet and
+    #: byte-identical results; so does the explicit ``static``
+    #: policy).  Accepts an :class:`~repro.sim.elastic.AutoscalerSpec`
+    #: or grammar string (``"reactive?queue_hi=6.0"``).
+    autoscaler: AutoscalerSpec | None = None
+    #: Admission policy judging every fresh arrival (``None`` — the
+    #: default — accepts everything, as does the explicit
+    #: ``accept_all``).  Accepts an
+    #: :class:`~repro.sim.elastic.AdmissionSpec` or grammar string
+    #: (``"shed?queue_max=48.0"``).
+    admission: AdmissionSpec | None = None
 
     def __post_init__(self) -> None:
         if self.step_mode not in ("span", "token"):
@@ -180,6 +194,14 @@ class ClusterConfig:
                 and not isinstance(self.recovery, RecoverySpec):
             object.__setattr__(self, "recovery",
                                recovery_spec(self.recovery))
+        if self.autoscaler is not None \
+                and not isinstance(self.autoscaler, AutoscalerSpec):
+            object.__setattr__(self, "autoscaler",
+                               autoscaler_spec(self.autoscaler))
+        if self.admission is not None \
+                and not isinstance(self.admission, AdmissionSpec):
+            object.__setattr__(self, "admission",
+                               admission_spec(self.admission))
         if self.prefill_fleets is not None:
             if not self.prefill_fleets:
                 raise ValueError("prefill_fleets must name >= 1 fleet")
@@ -245,6 +267,8 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
                     selection=None,
                     faults=None,
                     recovery=None,
+                    autoscaler=None,
+                    admission=None,
                     ) -> ClusterConfig:
     """The paper's §7.1 deployment for ``model`` on ``prefill_gpu``.
 
@@ -306,6 +330,10 @@ def default_cluster(model: ModelSpec, method: Method, prefill_gpu: str,
         extra["faults"] = faults_spec(faults)
     if recovery is not None:
         extra["recovery"] = recovery_spec(recovery)
+    if autoscaler is not None:
+        extra["autoscaler"] = autoscaler_spec(autoscaler)
+    if admission is not None:
+        extra["admission"] = admission_spec(admission)
     if len(resolved) > 1:
         extra["prefill_fleets"] = tuple(resolved)
         gpu_label = canonical_fleet(tuple(resolved))
@@ -338,6 +366,17 @@ class _PrefillReplica:
     #: Stale-event guard: bumped on every crash, stamped into this
     #: replica's in-flight event payloads.
     epoch: int = 0
+    # Elastic-lifecycle state (inert without an autoscaler): a replica
+    # serves only while "on"; "starting" is a boot with cold-start
+    # latency pending, "draining" takes no new work and retires to
+    # "off" once idle.
+    state: str = "on"
+    #: Stale-boot guard: bumped when a boot starts or is canceled.
+    lifecycle: int = 0
+    #: When the current powered stretch began (GPU-hour accrual).
+    on_since: float = 0.0
+    #: Accumulated powered GPU-seconds from *retired* stretches.
+    gpu_s: float = 0.0
 
 
 @dataclass
@@ -366,12 +405,17 @@ class _DecodeReplica:
     up: bool = True
     down_count: int = 0
     epoch: int = 0
+    # Elastic-lifecycle state (inert without an autoscaler).
+    state: str = "on"
+    lifecycle: int = 0
+    on_since: float = 0.0
+    gpu_s: float = 0.0
 
     def free_bytes(self) -> float:
-        # A crashed replica reports negative free space so every
-        # placement policy's room check excludes it without needing to
-        # know about faults.
-        if not self.up:
+        # A crashed (or draining / powered-off) replica reports
+        # negative free space so every placement policy's room check
+        # excludes it without needing to know about faults or scaling.
+        if not self.up or self.state != "on":
             return -1.0
         return self.capacity_bytes - self.used_bytes
 
@@ -409,6 +453,12 @@ class SimulationResult:
     #: Whether the run had a fault plan configured (drives the
     #: ``faults`` summary block even when nothing happened to fail).
     faulted: bool = False
+    #: Elastic-cluster statistics: scaling-event counts, mean/peak
+    #: powered replicas, accrued GPU-hours, shed/degraded counts plus
+    #: the live ``events``/``timeseries`` lists (those two stay out of
+    #: the summary).  ``None`` unless the run configured an
+    #: ``autoscaler`` or ``admission`` policy.
+    elastic_stats: dict | None = None
 
     def avg_jct(self) -> float:
         """Mean job completion time across all requests (Fig. 9 metric)."""
@@ -525,6 +575,39 @@ class SimulationResult:
             return 0.0
         return attainment * len(self.requests) / span
 
+    # -- cost-efficiency metrics (GPU-hours) ----------------------------------
+
+    def gpu_hours(self) -> float:
+        """GPU-hours the run consumed.
+
+        Elastic runs accrue this exactly from the replica lifecycle
+        (powered stretches × GPUs per replica, cold starts and drains
+        included).  Static fleets backfill the same quantity as every
+        provisioned GPU powered from t=0 to the last terminal event —
+        the same window the elastic accrual covers — so elastic and
+        static runs compare directly.
+        """
+        if self.elastic_stats is not None:
+            return self.elastic_stats["gpu_hours"]
+        n_gpus = sum(
+            replica_resources(self.config.model, gpu).parallelism.n_gpus
+            * count for gpu, count in self.config.fleet_list())
+        n_gpus += (self.config.n_decode_replicas
+                   * self.config.decode_replica().parallelism.n_gpus)
+        end = max((r.finish for r in self.requests), default=0.0)
+        return n_gpus * end / 3600.0
+
+    def goodput_per_gpu_hour(
+            self, ttft_slo_s: float = DEFAULT_TTFT_SLO_S,
+            tbt_slo_s: float = DEFAULT_TBT_SLO_S) -> float:
+        """SLO-attaining requests served per GPU-hour consumed — the
+        cost-efficiency metric elastic scaling optimizes."""
+        hours = self.gpu_hours()
+        if hours <= 0:
+            return 0.0
+        return self.slo_attainment(ttft_slo_s, tbt_slo_s) \
+            * len(self.requests) / hours
+
     def terminal_requests(self) -> list:
         """Every request that reached a terminal state — finished,
         rejected or failed — in request-id order."""
@@ -592,7 +675,10 @@ class SimulationResult:
         Schema v4 appends ``n_failed`` (always) and a ``faults`` block
         with the reliability metrics — availability, retry counts,
         wasted work, goodput under faults — when the run had a fault
-        plan configured.
+        plan configured.  Schema v5 appends the cost-efficiency pair
+        ``gpu_hours`` / ``goodput_per_gpu_hour`` (always — static
+        fleets backfill replicas × makespan) and an ``elastic`` block
+        when the run configured an autoscaler or admission policy.
         """
         jcts = sorted(r.jct for r in self.requests)
         ttfts = sorted(self.ttfts())
@@ -623,6 +709,9 @@ class SimulationResult:
             "slo_tbt_s": tbt_slo_s,
             "slo_attainment": attainment,
             "slo_goodput_rps": self._goodput(attainment),
+            "gpu_hours": self.gpu_hours(),
+            "goodput_per_gpu_hour":
+                self.goodput_per_gpu_hour(ttft_slo_s, tbt_slo_s),
         }
         if self.kvstore_stats is not None:
             out["kvstore"] = self.kvstore_stats
@@ -641,6 +730,12 @@ class SimulationResult:
                 "goodput_under_faults_rps":
                     self.goodput_under_faults_rps(ttft_slo_s, tbt_slo_s),
             }
+        if self.elastic_stats is not None:
+            block = {k: v for k, v in self.elastic_stats.items()
+                     if k not in ("events", "timeseries")}
+            block["goodput_per_gpu_hour"] = \
+                self.goodput_per_gpu_hour(ttft_slo_s, tbt_slo_s)
+            out["elastic"] = block
         return out
 
 
@@ -760,6 +855,46 @@ class Simulator:
                 self._fault_rng, horizon, len(self._prefill),
                 len(self._decode))
 
+        # Elastic cluster: autoscaling + admission.  Without either,
+        # ``_elastic_enabled`` is False and every hot-path method below
+        # takes its historical branch — byte-identical results.  The
+        # provisioned fleet is the *maximum*: the autoscaler powers
+        # replicas on and off within it, so a ``static`` run is exactly
+        # the peak-sized fleet.
+        self._elastic_enabled = (config.autoscaler is not None
+                                 or config.admission is not None)
+        self.autoscaler = None
+        self.admission = None
+        self._n_shed = 0
+        self._n_degraded = 0
+        #: ``(time, role, action, index)`` scaling events.
+        self._scale_events: list = []
+        #: ``(time, powered_prefill, powered_decode)`` step timeseries.
+        self._replica_timeseries: list = []
+        self._last_terminal_t = 0.0
+        if self._elastic_enabled:
+            aspec = config.autoscaler if config.autoscaler is not None \
+                else AutoscalerSpec(DEFAULT_AUTOSCALER)
+            self.autoscaler = aspec.build()
+            self.autoscaler.bind(self)
+            if config.admission is not None:
+                self.admission = config.admission.build()
+                self.admission.bind(self)
+                if self.admission.may_degrade:
+                    # Degraded requests carry their own method, so
+                    # prefill must run the per-request-method path.
+                    self._kv_enabled = True
+            n_p, n_d = len(self._prefill), len(self._decode)
+            init_p, init_d = self.autoscaler.initial(n_p, n_d)
+            self._target_p = min(max(1, int(init_p)), n_p)
+            self._target_d = min(max(1, int(init_d)), n_d)
+            # The un-powered tail starts off — initial state, no events.
+            for r in self._prefill[self._target_p:]:
+                r.state = "off"
+            for d in self._decode[self._target_d:]:
+                d.state = "off"
+            self._record_replicas(0.0)
+
     # -- public API ----------------------------------------------------------
 
     def run(self) -> SimulationResult:
@@ -770,6 +905,12 @@ class Simulator:
         # which discard exactly the events a crash raced).
         for t, kind, payload in self._fault_timeline:
             self._push(t, "fault", (kind, payload))
+        # The autoscaler's evaluation loop starts one interval in and
+        # re-arms itself while requests are outstanding; ``static``
+        # opts out entirely, so an armed-but-idle run replays the exact
+        # event sequence of an unarmed one.
+        if self._elastic_enabled and self.autoscaler.evaluates:
+            self._push(self.autoscaler.interval_s(), "elastic_eval", None)
         for tr in self.trace:
             self._push(tr.arrival_s, "arrival", SimRequest(trace=tr))
         while self._events:
@@ -787,7 +928,9 @@ class Simulator:
         if self.selection is not None:
             mix = {tier: dict(sorted(counts.items()))
                    for tier, counts in sorted(self._selection_mix.items())}
+        elastic = self._elastic_stats() if self._elastic_enabled else None
         return SimulationResult(requests=self._finished,
+                                elastic_stats=elastic,
                                 peak_memory_fraction=peak,
                                 n_swapped=self._n_swapped,
                                 config=self.config,
@@ -801,16 +944,33 @@ class Simulator:
     # -- event handlers --------------------------------------------------------
 
     def _on_arrival(self, now: float, req: SimRequest) -> None:
+        # Admission judges every fresh arrival exactly once; crash
+        # re-dispatches and retries bypass it (the request was already
+        # admitted).
+        if self.admission is not None:
+            verdict = self.admission.admit(now, req, self)
+            if verdict == "shed":
+                req.rejected = True
+                self._n_shed += 1
+                self._rejected.append(req)
+                self._last_terminal_t = max(self._last_terminal_t, now)
+                return
+            if verdict is not None:
+                if verdict.name != self.method.name:
+                    self._n_degraded += 1
+                req.admitted_method = verdict
         self._dispatch_to_prefill(now, req)
 
     def _dispatch_to_prefill(self, now: float, req: SimRequest) -> None:
         replicas = self._prefill
         mapping = None
-        if self._faults_enabled:
-            up = [i for i, r in enumerate(self._prefill) if r.up]
+        if self._faults_enabled or self._elastic_enabled:
+            up = [i for i, r in enumerate(self._prefill)
+                  if r.up and r.state == "on"]
             if not up:
-                # Whole prefill fleet down: park the request until a
-                # repair (never silently dropped).
+                # Whole prefill fleet down (or booting): park the
+                # request until a repair or boot completes (never
+                # silently dropped).
                 self._pending_dispatch.append(req)
                 return
             if len(up) < len(self._prefill):
@@ -896,8 +1056,14 @@ class Simulator:
         plan = []
         total_eff = 0
         for req in batch:
-            method = self.selection.choose(now, req, self) \
-                if self.selection is not None else self.method
+            if req.admitted_method is not None:
+                # Elastic admission degraded this request at arrival;
+                # overload control outranks per-request selection.
+                method = req.admitted_method
+            elif self.selection is not None:
+                method = self.selection.choose(now, req, self)
+            else:
+                method = self.method
             req.method = method
             if self.selection is not None:
                 tier_key = str(req.trace.slo_tier)
@@ -967,6 +1133,8 @@ class Simulator:
                     req.method.name, now)
         if replica.queue:
             self._start_prefill(now, idx)
+        elif self._elastic_enabled:
+            self._maybe_retire(now, "prefill", idx)
         for req in batch:
             self._dispatch_to_decode(now, req)
 
@@ -1009,6 +1177,9 @@ class Simulator:
                 # dropped after prefill and never reaches decode.
                 req.rejected = True
                 self._rejected.append(req)
+                if self._elastic_enabled:
+                    self._last_terminal_t = max(self._last_terminal_t,
+                                                now)
             return
         self._begin_transfer(now, req, target)
 
@@ -1259,6 +1430,10 @@ class Simulator:
                     req.method.kv_wire_bytes_per_value),
                 req.method.name, now)
         self._finished.append(req)
+        if self._elastic_enabled:
+            self._last_terminal_t = max(self._last_terminal_t, now)
+            if req.decode_replica >= 0:
+                self._maybe_retire(now, "decode", req.decode_replica)
 
     def _admit_pending(self, now: float) -> None:
         still_waiting: deque = deque()
@@ -1365,6 +1540,10 @@ class Simulator:
         self._pending_dispatch = deque()
         for req in pending:
             self._dispatch_to_prefill(now, req)
+        if self._elastic_enabled:
+            # A crash emptied this replica; if it was draining it can
+            # retire now that it is repaired-and-idle.
+            self._maybe_retire(now, "prefill", idx)
 
     def _decode_down(self, now: float, idx: int) -> None:
         decode = self._decode[idx]
@@ -1424,6 +1603,8 @@ class Simulator:
             return
         decode.up = True
         self._admit_pending(now)
+        if self._elastic_enabled:
+            self._maybe_retire(now, "decode", idx)
 
     def _unsettle_boundary_iteration(self, decode: _DecodeReplica) -> None:
         """Un-credit the boundary iteration a crash interrupted.
@@ -1456,7 +1637,8 @@ class Simulator:
         if req.attempt != attempt:
             return             # a crash already recovered this attempt
         _, comm = self._inflight.pop(req.request_id)
-        decode = self._decode[req.decode_replica]
+        target = req.decode_replica
+        decode = self._decode[target]
         decode.used_bytes -= req.reserved_bytes
         decode.queued_tokens -= req.trace.total_len
         req.reserved_bytes = 0.0
@@ -1467,6 +1649,9 @@ class Simulator:
         req.wasted_compute_s += comm
         self._recover(now, req, lost_kv=False)
         self._admit_pending(now)
+        if self._elastic_enabled:
+            # The flap may have freed a draining replica's last bytes.
+            self._maybe_retire(now, "decode", target)
 
     def _recover(self, now: float, req: SimRequest, lost_kv: bool,
                  wasted_s: float | None = None) -> None:
@@ -1489,6 +1674,8 @@ class Simulator:
         if delay is None:
             req.failed = True
             self._failed.append(req)
+            if self._elastic_enabled:
+                self._last_terminal_t = max(self._last_terminal_t, now)
             return
         req.n_retries = attempt
         self._push(now + delay, "retry", (req, req.attempt, lost_kv))
@@ -1501,6 +1688,235 @@ class Simulator:
             self._dispatch_to_prefill(now, req)
         else:
             self._dispatch_to_decode(now, req)
+
+    # -- elastic scaling (autoscaler + admission) ------------------------------
+
+    def prefill_backlog(self) -> int:
+        """Requests waiting on or inside the prefill stage: queued,
+        in-service and parked (the autoscaler/admission load signal)."""
+        backlog = len(self._pending_dispatch)
+        for replica in self._prefill:
+            backlog += len(replica.queue)
+            if replica.current is not None:
+                backlog += len(replica.current)
+        return backlog
+
+    def recent_ttft_attainment(self, now: float, window_s: float,
+                               ttft_slo_s: float) -> tuple[float, int]:
+        """TTFT SLO attainment over requests finishing in the last
+        ``window_s`` seconds: ``(attainment, n_finished)`` —
+        ``(0.0, 0)`` when nothing finished in the window."""
+        met = n = 0
+        cutoff = now - window_s
+        # ``_finished`` is appended in completion order; walk back
+        # until the window's edge.
+        for req in reversed(self._finished):
+            if req.finish < cutoff:
+                break
+            n += 1
+            if req.ttft <= ttft_slo_s:
+                met += 1
+        if n == 0:
+            return 0.0, 0
+        return met / n, n
+
+    def _outstanding(self) -> int:
+        """Trace requests not yet in a terminal state."""
+        return (len(self.trace) - len(self._finished)
+                - len(self._rejected) - len(self._failed))
+
+    def _record_replicas(self, now: float) -> None:
+        p = sum(1 for r in self._prefill if r.state != "off")
+        d = sum(1 for r in self._decode if r.state != "off")
+        ts = self._replica_timeseries
+        if ts and ts[-1][0] == now:
+            ts[-1] = (now, p, d)
+        else:
+            ts.append((now, p, d))
+
+    def _on_elastic_eval(self, now, payload) -> None:
+        n_p, n_d = len(self._prefill), len(self._decode)
+        want_p, want_d = self.autoscaler.desired(
+            now, self, n_p, n_d, self._target_p, self._target_d)
+        want_p = min(max(1, int(want_p)), n_p)
+        want_d = min(max(1, int(want_d)), n_d)
+        if want_p != self._target_p:
+            self._retarget(now, "prefill", want_p)
+            self._target_p = want_p
+        if want_d != self._target_d:
+            self._retarget(now, "decode", want_d)
+            self._target_d = want_d
+        # Re-arm only while work remains, so the run still terminates.
+        if self._outstanding() > 0:
+            self._push(now + self.autoscaler.interval_s(),
+                       "elastic_eval", None)
+
+    def _retarget(self, now: float, role: str, want: int) -> None:
+        """Reconcile one fleet toward ``want`` powered replicas.
+
+        Scale-up resurrects draining replicas first (still warm — no
+        cold start), then boots powered-off ones with the policy's
+        cold-start latency.  Scale-down cancels pending boots first,
+        then drains the highest-index serving replicas: they take no
+        new work and retire once idle — in-flight work is never killed.
+        """
+        replicas = self._prefill if role == "prefill" else self._decode
+        cur = sum(1 for r in replicas if r.state in ("on", "starting"))
+        undrained = False
+        if want > cur:
+            for idx, r in enumerate(replicas):
+                if cur >= want:
+                    break
+                if r.state == "draining":
+                    r.state = "on"
+                    cur += 1
+                    undrained = True
+                    self._scale_events.append((now, role, "undrain", idx))
+            for idx, r in enumerate(replicas):
+                if cur >= want:
+                    break
+                if r.state == "off":
+                    r.state = "starting"
+                    r.lifecycle += 1
+                    r.on_since = now
+                    cur += 1
+                    self._scale_events.append((now, role, "boot", idx))
+                    self._push(now + self.autoscaler.cold_start_s(),
+                               "elastic_boot", (role, idx, r.lifecycle))
+        elif want < cur:
+            for idx in range(len(replicas) - 1, -1, -1):
+                if cur <= want:
+                    break
+                r = replicas[idx]
+                if r.state == "starting":
+                    r.gpu_s += self._replica_gpus(role, idx) \
+                        * (now - r.on_since)
+                    r.state = "off"
+                    r.lifecycle += 1   # cancel the in-flight boot event
+                    cur -= 1
+                    self._scale_events.append((now, role, "cancel", idx))
+            for idx in range(len(replicas) - 1, -1, -1):
+                if cur <= want:
+                    break
+                r = replicas[idx]
+                if r.state == "on":
+                    r.state = "draining"
+                    cur -= 1
+                    self._scale_events.append((now, role, "drain", idx))
+                    self._maybe_retire(now, role, idx)
+        self._record_replicas(now)
+        if undrained:
+            # A resurrected replica can serve again: drain whatever
+            # parked while the fleet had no serving capacity.
+            if role == "prefill":
+                pending = self._pending_dispatch
+                self._pending_dispatch = deque()
+                for req in pending:
+                    self._dispatch_to_prefill(now, req)
+            else:
+                self._admit_pending(now)
+
+    def _on_elastic_boot(self, now: float, payload) -> None:
+        role, idx, lifecycle = payload
+        replicas = self._prefill if role == "prefill" else self._decode
+        r = replicas[idx]
+        if r.state != "starting" or r.lifecycle != lifecycle:
+            return              # the boot was canceled by a scale-down
+        r.state = "on"
+        self._scale_events.append((now, role, "up", idx))
+        self._record_replicas(now)
+        if role == "prefill":
+            pending = self._pending_dispatch
+            self._pending_dispatch = deque()
+            for req in pending:
+                self._dispatch_to_prefill(now, req)
+        else:
+            self._admit_pending(now)
+
+    def _replica_gpus(self, role: str, idx: int) -> int:
+        if role == "prefill":
+            return self._prefill[idx].res.parallelism.n_gpus
+        return self.dec_res.parallelism.n_gpus
+
+    def _maybe_retire(self, now: float, role: str, idx: int) -> None:
+        """Power off a draining replica once it is idle and healthy.
+
+        A crashed replica stays powered while down (a crash is not a
+        power-off); the repair handlers re-check retirement.
+        """
+        if role == "prefill":
+            r = self._prefill[idx]
+            if not (r.state == "draining" and r.up
+                    and r.current is None and not r.queue):
+                return
+        else:
+            r = self._decode[idx]
+            # Inbound transfers hold ``used_bytes``; wait them out.
+            if not (r.state == "draining" and r.up
+                    and not r.active and r.used_bytes <= 1e-9):
+                return
+        r.gpu_s += self._replica_gpus(role, idx) * (now - r.on_since)
+        r.state = "off"
+        self._scale_events.append((now, role, "down", idx))
+        self._record_replicas(now)
+
+    def _elastic_stats(self) -> dict:
+        """The elastic summary block plus the live events/timeseries."""
+        end = self._last_terminal_t
+        gpu_hours = {"prefill": 0.0, "decode": 0.0}
+        for role, replicas in (("prefill", self._prefill),
+                               ("decode", self._decode)):
+            for idx, r in enumerate(replicas):
+                accrued = r.gpu_s
+                if r.state != "off":
+                    accrued += self._replica_gpus(role, idx) \
+                        * max(0.0, end - r.on_since)
+                gpu_hours[role] += accrued / 3600.0
+        ts = self._replica_timeseries
+        if not ts or end > ts[-1][0]:
+            self._record_replicas(end)
+            ts = self._replica_timeseries
+        mean_p = mean_d = 0.0
+        peak_p = peak_d = 0
+        if end > 0:
+            # Time-weighted means over [0, end]; a retirement landing
+            # past the last terminal instant (a post-work repair) is
+            # clamped out of the window.
+            for (t0, p, d), (t1, _, _) in zip(ts, ts[1:]):
+                dt = min(t1, end) - min(t0, end)
+                mean_p += p * dt
+                mean_d += d * dt
+            mean_p /= end
+            mean_d /= end
+        elif ts:
+            mean_p, mean_d = ts[0][1], ts[0][2]
+        for _, p, d in ts:
+            peak_p = max(peak_p, p)
+            peak_d = max(peak_d, d)
+        n_p, n_d = len(self._prefill), len(self._decode)
+        return {
+            "autoscaler": self.config.autoscaler.canonical()
+            if self.config.autoscaler is not None else DEFAULT_AUTOSCALER,
+            "admission": self.config.admission.canonical()
+            if self.config.admission is not None else "accept_all",
+            "n_scale_ups": sum(1 for ev in self._scale_events
+                               if ev[2] in ("boot", "undrain")),
+            "n_scale_downs": sum(1 for ev in self._scale_events
+                                 if ev[2] in ("drain", "cancel")),
+            "scaling_events": len(self._scale_events),
+            "mean_prefill_replicas": mean_p,
+            "peak_prefill_replicas": peak_p,
+            "mean_decode_replicas": mean_d,
+            "peak_decode_replicas": peak_d,
+            "mean_utilization": (mean_p + mean_d) / (n_p + n_d),
+            "gpu_hours": gpu_hours["prefill"] + gpu_hours["decode"],
+            "prefill_gpu_hours": gpu_hours["prefill"],
+            "decode_gpu_hours": gpu_hours["decode"],
+            "n_shed": self._n_shed,
+            "n_degraded": self._n_degraded,
+            "events": [list(ev) for ev in self._scale_events],
+            "timeseries": [list(pt) for pt in ts],
+        }
 
     # -- helpers ----------------------------------------------------------------
 

@@ -70,6 +70,11 @@ class SimRequest:
     #: per-request compression method the selection layer chose — the
     #: scenario method when no selection policy is active).
     method: Method | None = None
+    #: Method the admission layer degraded this request to at arrival
+    #: (elastic admission control; ``None`` when admitted at full
+    #: quality).  Judged once — it survives crash retries, overriding
+    #: any selection policy on the re-prefill too.
+    admitted_method: Method | None = None
     #: Prompt tokens whose KV the prefix cache served (prefill skipped).
     prefix_hit_tokens: int = 0
     #: Time spent reading the cached prefix out of its tier (accrues to

@@ -43,8 +43,8 @@ class TestSchemaV2:
         return Runner().run(SMALL)
 
     def test_writes_current_schema(self, artifact):
-        assert SCHEMA_VERSION == 4
-        assert artifact.to_dict()["schema_version"] == 4
+        assert SCHEMA_VERSION == 5
+        assert artifact.to_dict()["schema_version"] == 5
 
     def test_summary_has_serving_metrics(self, artifact):
         s = artifact.methods["baseline"].summary
@@ -72,7 +72,7 @@ class TestSchemaV2:
 
     def test_unknown_version_still_rejected(self, artifact):
         data = artifact.to_dict()
-        data["schema_version"] = 5
+        data["schema_version"] = SCHEMA_VERSION + 1
         with pytest.raises(ValueError, match="schema_version"):
             RunArtifact.from_dict(data)
 

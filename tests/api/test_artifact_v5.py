@@ -1,0 +1,172 @@
+"""Schema v5 artifacts (cost-efficiency pair + elastic block) and
+backward compatibility: v1–v4 artifacts still load, render and
+compare cleanly."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    Runner,
+    RunArtifact,
+    Scenario,
+    compare_artifacts,
+)
+from repro.api.artifact import SCHEMA_VERSION, SUPPORTED_SCHEMA_VERSIONS
+from repro.cli import main
+
+ELASTIC = Scenario(methods=("hack",), n_requests=20, seed=3,
+                   load_factor=0.4, n_prefill_replicas=3,
+                   arrival="diurnal?amp=0.9,period=120.0",
+                   autoscaler="reactive?queue_hi=3.0,queue_lo=1.0,"
+                              "cooldown_s=10.0,interval_s=2.0,"
+                              "cold_start_s=5.0",
+                   admission="shed?queue_max=24.0")
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return Runner().run(ELASTIC)
+
+
+@pytest.fixture(scope="module")
+def plain_artifact():
+    return Runner().run(Scenario(methods=("baseline",), dataset="imdb",
+                                 n_requests=12, seed=3))
+
+
+class TestSchemaV5:
+    def test_version_stamped(self, plain_artifact):
+        assert SCHEMA_VERSION == 5
+        assert json.loads(plain_artifact.to_json())["schema_version"] == 5
+
+    def test_every_summary_carries_cost_pair(self, plain_artifact):
+        summary = plain_artifact.methods["baseline"].summary
+        assert summary["gpu_hours"] > 0
+        assert summary["goodput_per_gpu_hour"] > 0
+        assert "elastic" not in summary
+
+    def test_elastic_block_round_trips(self, artifact):
+        block = artifact.methods["hack"].summary["elastic"]
+        assert block["autoscaler"].startswith("reactive?")
+        assert block["admission"] == "shed?queue_max=24.0"
+        assert "events" not in block and "timeseries" not in block
+        loaded = RunArtifact.from_json(artifact.to_json())
+        assert loaded.methods["hack"].summary["elastic"] == block
+        assert compare_artifacts(artifact, loaded)["equal"]
+
+    def test_renders(self, artifact):
+        rendered = artifact.summary_table().render()
+        assert "goodput_per_gpu_hour" in rendered
+
+
+class TestBackwardCompatibility:
+    @pytest.mark.parametrize("version", sorted(SUPPORTED_SCHEMA_VERSIONS))
+    def test_older_artifacts_load_and_compare(self, plain_artifact,
+                                              version):
+        data = json.loads(plain_artifact.to_json())
+        data["schema_version"] = version
+        if version < 5:
+            for run in data["methods"].values():
+                run["summary"].pop("gpu_hours")
+                run["summary"].pop("goodput_per_gpu_hour")
+        if version < 4:
+            for run in data["methods"].values():
+                run["summary"].pop("n_failed")
+        if version < 3:
+            del data["trace"]
+        loaded = RunArtifact.from_dict(data)
+        assert compare_artifacts(plain_artifact, loaded)["equal"]
+        assert loaded.summary_table().render()
+
+    def test_unsupported_version_rejected(self, plain_artifact):
+        data = json.loads(plain_artifact.to_json())
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            RunArtifact.from_dict(data)
+
+
+class TestCompareElasticBlock:
+    def test_diffs_elastic_metrics(self, artifact):
+        other = Runner().run(ELASTIC.replace(
+            autoscaler="reactive?queue_hi=8.0,queue_lo=1.0,"
+                       "cooldown_s=30.0,interval_s=5.0,"
+                       "cold_start_s=10.0"))
+        diff = compare_artifacts(artifact, other)
+        assert not diff["equal"]
+        assert any(k.startswith("elastic.")
+                   for k in diff["methods"]["hack"])
+
+    def test_flags_shed_count_drift(self, artifact):
+        data = json.loads(artifact.to_json())
+        block = data["methods"]["hack"]["summary"]["elastic"]
+        block["n_shed"] += 3
+        block["n_degraded"] += 1
+        drifted = RunArtifact.from_dict(data)
+        diff = compare_artifacts(artifact, drifted)["methods"]["hack"]
+        assert "elastic.n_shed" in diff
+        assert "elastic.n_degraded" in diff
+
+    def test_flags_gpu_hour_drift(self, artifact):
+        data = json.loads(artifact.to_json())
+        summ = data["methods"]["hack"]["summary"]
+        summ["gpu_hours"] *= 2.0
+        drifted = RunArtifact.from_dict(data)
+        diff = compare_artifacts(artifact, drifted)["methods"]["hack"]
+        assert "gpu_hours" in diff
+
+    def test_flags_presence_mismatch(self, artifact):
+        stripped = json.loads(artifact.to_json())
+        for run in stripped["methods"].values():
+            run["summary"].pop("elastic")
+        diff = compare_artifacts(artifact,
+                                 RunArtifact.from_dict(stripped))
+        assert diff["methods"]["hack"]["elastic"] == \
+            {"a": True, "b": False, "rel_diff": 1.0}
+
+
+CLI_ELASTIC = ["run", "--methods", "hack", "--n-requests", "16",
+               "--load-factor", "0.4", "--n-prefill-replicas", "3",
+               "--arrival", "diurnal?amp=0.9,period=120",
+               "--autoscaler", "reactive?queue_hi=3,queue_lo=1,"
+                               "cooldown_s=10,interval_s=2,"
+                               "cold_start_s=5",
+               "--admission", "shed?queue_max=24"]
+
+
+class TestCli:
+    def test_run_flags_reach_artifact(self, capsys):
+        assert main([*CLI_ELASTIC, "--json"]) == 0
+        artifact = json.loads(capsys.readouterr().out)
+        assert artifact["scenario"]["autoscaler"].startswith("reactive?")
+        assert artifact["scenario"]["admission"] == "shed?queue_max=24.0"
+        summary = artifact["methods"]["hack"]["summary"]
+        assert summary["elastic"]["gpu_hours"] > 0
+        assert summary["goodput_per_gpu_hour"] > 0
+
+    def test_unknown_autoscaler_is_clean_cli_error(self, capsys):
+        assert main(["run", "--methods", "hack", "--n-requests", "10",
+                     "--autoscaler", "reactve"]) == 2
+        assert "reactive" in capsys.readouterr().err
+
+    def test_list_catalogs_elastic_registries(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert {"static", "reactive", "slo", "schedule"} <= \
+            set(catalog["autoscaler_policies"])
+        assert {"accept_all", "shed", "degrade"} <= \
+            set(catalog["admission_policies"])
+        assert catalog["autoscaler_policies"]["reactive"]["signature"] \
+            .startswith("reactive?")
+        assert "scale" in catalog["experiments"]
+
+    def test_sweep_axis_with_none_cell(self, tmp_path):
+        assert main(["sweep", "--methods", "hack", "--n-requests", "10",
+                     "--load-factor", "0.4",
+                     "--axis", "autoscaler=none,static",
+                     "--out", str(tmp_path)]) == 0
+        files = sorted(tmp_path.glob("*.json"))
+        assert len(files) == 2
+        scalers = {json.loads(p.read_text())["scenario"].get("autoscaler")
+                   for p in files}
+        assert scalers == {None, "static"}

@@ -37,7 +37,7 @@ class TestRunScenario:
         assert main(["run", *RUN_FLAGS, "--json"]) == 0
         artifact = json.loads(capsys.readouterr().out)
         assert artifact["schema"] == "hack-repro/run-artifact"
-        assert artifact["schema_version"] == 4
+        assert artifact["schema_version"] == 5
         assert set(artifact["methods"]) == {"baseline", "hack"}
         assert artifact["scenario"]["dataset"] == "imdb"
 
@@ -47,7 +47,7 @@ class TestRunScenario:
         files = list(out_dir.glob("*.json"))
         assert len(files) == 1
         data = json.loads(files[0].read_text())
-        assert data["schema_version"] == 4
+        assert data["schema_version"] == 5
 
     def test_workers_produce_identical_artifact(self, tmp_path):
         main(["run", *RUN_FLAGS, "--out", str(tmp_path / "serial")])
@@ -107,7 +107,7 @@ class TestSweep:
                      "hack", "--n-requests", "10", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert isinstance(payload, list) and len(payload) == 1
-        assert payload[0]["schema_version"] == 4
+        assert payload[0]["schema_version"] == 5
 
     def test_method_param_axis_produces_per_spec_artifacts(self, tmp_path,
                                                            capsys):
@@ -246,4 +246,4 @@ class TestJsonOutPaths:
         paths = json.loads(captured.out)
         assert len(paths) == 1
         assert paths[0].endswith(".json")
-        assert json.loads(open(paths[0]).read())["schema_version"] == 4
+        assert json.loads(open(paths[0]).read())["schema_version"] == 5
