@@ -14,6 +14,7 @@ Subcommands::
     python -m repro.cli compare out-serial/ out-parallel/
     python -m repro.cli export out/some-artifact.json --format md
     python -m repro.cli list
+    python -m repro.cli lint --json
 
 ``run``/``sweep`` build declarative :class:`repro.api.Scenario` /
 :class:`repro.api.Sweep` objects and execute them on a
@@ -57,6 +58,8 @@ from .experiments import (
     table8_sensitivity,
 )
 from .kvstore.selection import selection_policies, split_selection_list
+from .lint.cli import add_lint_arguments, run_from_args as \
+    run_lint_from_args
 from .kvstore.spec import eviction_policies, kvstore_families, \
     split_kvstore_list
 from .methods import METHODS, method_families, split_method_list
@@ -447,10 +450,10 @@ def _run_predefined(args) -> int:
                 "accuracy on the numpy harness); drop --scale")
         scale = 1.0 if args.scale is None else args.scale
         print(f"== {name}: {spec.description} ==")
-        start = time.time()
+        start = time.perf_counter()
         result = spec.build(scale, runner)
         print(result.render())
-        print(f"[{name} took {time.time() - start:.1f}s]\n")
+        print(f"[{name} took {time.perf_counter() - start:.1f}s]\n")
     return 0
 
 
@@ -727,6 +730,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "methods and GPUs")
     lst.add_argument("--json", action="store_true")
     lst.set_defaults(func=_cmd_list)
+
+    lint = sub.add_parser("lint", help="run the repo invariant checker "
+                          "(determinism, registry hygiene, schema "
+                          "discipline)")
+    add_lint_arguments(lint)
+    lint.set_defaults(func=run_lint_from_args)
 
     return parser
 

@@ -1,0 +1,105 @@
+"""Catalog-coverage rule: ``cli list`` must surface every registry.
+
+The CLI's ``list`` subcommand is the discoverability contract: every
+open registry the grammar can name must appear in its catalog, both as
+a ``--json`` key and in the human listing.  A registry module follows a
+strict naming convention — a public zero-argument enumerator ending in
+``_families`` / ``_policies`` / ``_processes`` returning the registry
+dict — so REPRO401 can *discover* registries statically and then check
+that ``_cmd_list``'s catalog literal has a key for each.  Adding an
+eleventh registry without touching ``cli.py`` now fails the lint gate
+instead of shipping an invisible subsystem.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import FileContext, ProjectContext, Rule, register_rule
+
+__all__ = ["CatalogCoverageRule", "enumerator_defs", "catalog_keys"]
+
+_CLI_PATH = "src/repro/cli.py"
+_ENUM_SUFFIXES = ("_families", "_policies", "_processes")
+_NON_ENUM_PREFIXES = ("has_", "get_", "split_", "_")
+
+
+def enumerator_defs(ctx: FileContext) -> list[tuple[str, int]]:
+    """(name, line) of registry-enumerator functions defined at module
+    level in one file: public, zero required arguments, named
+    ``*_families`` / ``*_policies`` / ``*_processes``."""
+    out: list[tuple[str, int]] = []
+    if ctx.tree is None:
+        return out
+    for node in ctx.tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        name = node.name
+        if not name.endswith(_ENUM_SUFFIXES) \
+                or name.startswith(_NON_ENUM_PREFIXES):
+            continue
+        args = node.args
+        required = len(args.posonlyargs) + len(args.args) \
+            - len(args.defaults)
+        if required or args.kwonlyargs and any(
+                d is None for d in args.kw_defaults):
+            continue
+        out.append((name, node.lineno))
+    return out
+
+
+def catalog_keys(cli_ctx: FileContext) -> tuple[set[str], int] | None:
+    """Literal string keys of the ``catalog`` dict inside ``_cmd_list``
+    and the dict's line, or None when the structure is missing."""
+    if cli_ctx.tree is None:
+        return None
+    for node in ast.walk(cli_ctx.tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "_cmd_list":
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Assign) \
+                        and len(stmt.targets) == 1 \
+                        and isinstance(stmt.targets[0], ast.Name) \
+                        and stmt.targets[0].id == "catalog" \
+                        and isinstance(stmt.value, ast.Dict):
+                    keys = {k.value for k in stmt.value.keys
+                            if isinstance(k, ast.Constant)
+                            and isinstance(k.value, str)}
+                    return keys, stmt.value.lineno
+    return None
+
+
+@register_rule
+class CatalogCoverageRule(Rule):
+    code = "REPRO401"
+    name = "catalog-coverage"
+    description = (
+        "every registry enumerator under src/repro must have a key in "
+        "the cli list catalog")
+    project_rule = True
+
+    #: Overridable in tests (fixture mini-repos).
+    cli_path = _CLI_PATH
+
+    def check_project(self, project: ProjectContext):
+        cli_ctx = project.get(self.cli_path)
+        if cli_ctx is None:
+            return
+        found = catalog_keys(cli_ctx)
+        if found is None:
+            yield cli_ctx.finding(
+                self, 1,
+                "_cmd_list no longer assigns a literal `catalog` dict; "
+                "the catalog-coverage invariant cannot be checked")
+            return
+        keys, _ = found
+        for ctx in project.files:
+            if not ctx.relpath.startswith("src/repro/") \
+                    or ctx.relpath.startswith("src/repro/lint/"):
+                continue
+            for name, line in enumerator_defs(ctx):
+                if name not in keys:
+                    yield ctx.finding(
+                        self, line,
+                        f"registry enumerator {name}() is not surfaced "
+                        f"by `cli list` (no {name!r} key in the "
+                        "_cmd_list catalog)")

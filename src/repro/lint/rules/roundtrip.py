@@ -1,0 +1,182 @@
+"""Grammar round-trip rules: ``parse(canonical(spec)) == spec``.
+
+Every registry speaks the same ``family?k=v`` string grammar, and the
+whole scenario/artifact machinery assumes the canonical string form is
+a fixed point: parsing it must reproduce the spec, and canonicalizing
+it again must reproduce the string (slugs, artifact file names and
+sweep-axis labels all depend on it).  REPRO301 *executes* that law for
+every registered family — bare name and full default signature — by
+importing the live registries, so a family whose parameter formatting
+drifts is caught before any scenario slug does.  REPRO302 enforces the
+cross-role uniqueness the pair grammars rely on (a bare ``--scheduler``
+or ``--kvstore`` name must resolve to exactly one role), plus the
+legacy-alias shadowing hazard in the method grammar.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from pathlib import Path
+
+from ..core import Finding, ProjectContext, Rule, register_rule
+
+__all__ = ["RoundTripRule", "CrossRoleUniquenessRule", "REGISTRIES"]
+
+#: (role, module, enumerator, parse, canonical) for every registry
+#: speaking the ``family?k=v`` grammar.  The catalog-coverage rule
+#: (REPRO401) discovers enumerators statically; this table is the
+#: import-side mirror and is itself covered by REPRO401's sweep (an
+#: enumerator missing here still has to show up in ``cli list``).
+REGISTRIES = (
+    ("method", "repro.methods.spec",
+     "method_families", "parse_method", "canonical_method"),
+    ("arrival", "repro.workload.arrivals",
+     "arrival_processes", "parse_arrival", "canonical_arrival"),
+    ("dispatch", "repro.sim.scheduling",
+     "dispatch_policies", "parse_scheduler", "canonical_scheduler"),
+    ("placement", "repro.sim.scheduling",
+     "placement_policies", "parse_scheduler", "canonical_scheduler"),
+    ("kvstore", "repro.kvstore.spec",
+     "kvstore_families", "parse_kvstore", "canonical_kvstore"),
+    ("eviction", "repro.kvstore.spec",
+     "eviction_policies", "parse_kvstore", "canonical_kvstore"),
+    ("selection", "repro.kvstore.selection",
+     "selection_policies", "parse_selection", "canonical_selection"),
+    ("fault", "repro.sim.faults",
+     "fault_families", "parse_faults", "canonical_faults"),
+    ("recovery", "repro.sim.recovery",
+     "recovery_policies", "parse_recovery", "canonical_recovery"),
+    ("autoscaler", "repro.sim.elastic",
+     "autoscaler_policies", "parse_autoscaler", "canonical_autoscaler"),
+    ("admission", "repro.sim.elastic",
+     "admission_policies", "parse_admission", "canonical_admission"),
+)
+
+
+def _anchor(project: ProjectContext, obj) -> tuple[str, int]:
+    """(relpath, line) of a registered family/policy's definition, for
+    attaching findings (and pragmas) to the offending declaration."""
+    target = obj if inspect.isclass(obj) else type(obj)
+    try:
+        path = Path(inspect.getsourcefile(target))
+        _, line = inspect.getsourcelines(target)
+        return path.relative_to(project.root).as_posix(), line
+    except (TypeError, OSError, ValueError):
+        return "src/repro/__init__.py", 1
+
+
+def check_roundtrip(names_to_objs: dict, parse, canonical,
+                    signature_of=None):
+    """Round-trip every family through its grammar; yields
+    ``(obj, text, problem)`` tuples for failures.
+
+    Checked per family: the bare name and the full default signature
+    (every parameter spelled out) both satisfy
+    ``parse(canonical(text)) == parse(text)`` with an idempotent
+    canonical form.  ``signature_of`` defaults to the registered
+    object's ``signature()``.
+    """
+    for name, obj in names_to_objs.items():
+        texts = [name]
+        sig = None
+        if signature_of is not None:
+            sig = signature_of(obj)
+        elif hasattr(obj, "signature"):
+            sig = obj.signature()
+        if sig and sig != name:
+            texts.append(sig)
+        for text in texts:
+            try:
+                spec = parse(text)
+                canon = canonical(text)
+                respec = parse(canon)
+                recanon = canonical(canon)
+            except Exception as exc:
+                yield obj, text, f"raised {type(exc).__name__}: {exc}"
+                continue
+            if respec != spec:
+                yield (obj, text,
+                       f"parse({canon!r}) != parse({text!r}) — canonical "
+                       "form does not round-trip")
+            elif recanon != canon:
+                yield (obj, text,
+                       f"canonical is not idempotent: {canon!r} -> "
+                       f"{recanon!r}")
+
+
+@register_rule
+class RoundTripRule(Rule):
+    code = "REPRO301"
+    name = "grammar-round-trip"
+    description = (
+        "parse(canonical(spec)) must equal spec for every registered "
+        "family (bare name and full default signature)")
+    project_rule = True
+
+    #: Overridable in tests: same shape as :data:`REGISTRIES`.
+    table = REGISTRIES
+
+    def check_project(self, project: ProjectContext):
+        for role, module_name, enum_name, parse_name, canon_name \
+                in self.table:
+            module = importlib.import_module(module_name)
+            families = getattr(module, enum_name)()
+            parse = getattr(module, parse_name)
+            canonical = getattr(module, canon_name)
+            for obj, text, problem in check_roundtrip(
+                    families, parse, canonical):
+                path, line = _anchor(project, obj)
+                yield Finding(
+                    path=path, line=line, code=self.code,
+                    message=f"{role} family grammar broken for "
+                            f"{text!r}: {problem}",
+                    rule=self.name)
+
+
+@register_rule
+class CrossRoleUniquenessRule(Rule):
+    code = "REPRO302"
+    name = "cross-role-uniqueness"
+    description = (
+        "registries sharing a pair grammar must not reuse names "
+        "across roles, and legacy method aliases must not shadow a "
+        "different family")
+    project_rule = True
+
+    def check_project(self, project: ProjectContext):
+        from repro.kvstore.spec import eviction_policies, kvstore_families
+        from repro.sim.scheduling import dispatch_policies, \
+            placement_policies
+
+        pairs = (
+            ("dispatch", dispatch_policies(),
+             "placement", placement_policies()),
+            ("kvstore family", kvstore_families(),
+             "eviction", eviction_policies()),
+        )
+        for role_a, reg_a, role_b, reg_b in pairs:
+            for name in sorted(set(reg_a) & set(reg_b)):
+                path, line = _anchor(project, reg_b[name])
+                yield Finding(
+                    path=path, line=line, code=self.code,
+                    message=f"name {name!r} is registered as both a "
+                            f"{role_a} and a {role_b}; a bare name in "
+                            "the pair grammar must resolve to one role",
+                    rule=self.name)
+
+        # A legacy method alias resolves before families in
+        # parse_method, so an alias naming a *different* family makes
+        # that family unreachable by its own name.
+        from repro.methods import spec as method_spec_mod
+        legacy = method_spec_mod._LEGACY
+        families = method_spec_mod.method_families()
+        for alias, entry in legacy.items():
+            if alias in families and entry.spec.family != alias:
+                path, line = _anchor(project, families[alias])
+                yield Finding(
+                    path=path, line=line, code=self.code,
+                    message=f"legacy alias {alias!r} (-> family "
+                            f"{entry.spec.family!r}) shadows the "
+                            f"registered family {alias!r}",
+                    rule=self.name)

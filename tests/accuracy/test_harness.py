@@ -136,7 +136,9 @@ class TestAnchoring:
         assert ("cocktail", "F") not in PAPER_BASELINE_ACCURACY
 
     def test_baseline_values_verbatim(self):
+        # repro: lint-ignore[REPRO604] verbatim paper constant, no arithmetic
         assert PAPER_BASELINE_ACCURACY[("imdb", "L")] == 95.73
+        # repro: lint-ignore[REPRO604] verbatim paper constant, no arithmetic
         assert PAPER_BASELINE_ACCURACY[("cocktail", "M")] == 75.18
 
     def test_kappa_maps_anchor_to_target(self):

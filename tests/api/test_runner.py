@@ -32,6 +32,7 @@ class TestResolve:
                                     activation_overhead=0.3))
         config = resolved.configs["baseline"]
         assert config.decode_gpu == "L4"
+        # repro: lint-ignore[REPRO604] same literal in and out, bit-exact
         assert config.activation_overhead == 0.3
 
     def test_trace_is_method_independent(self):

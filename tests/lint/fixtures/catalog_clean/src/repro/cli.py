@@ -1,0 +1,9 @@
+"""Mini-repo CLI whose catalog covers every registry."""
+
+
+def _cmd_list(args):
+    catalog = {
+        "method_families": None,
+        "widget_families": None,
+    }
+    return catalog

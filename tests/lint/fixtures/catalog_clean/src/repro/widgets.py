@@ -1,0 +1,11 @@
+"""Registry module the mini-repo CLI surfaces correctly."""
+
+_WIDGETS = {}
+
+
+def widget_families():
+    return dict(_WIDGETS)
+
+
+def method_families():
+    return {}

@@ -1,0 +1,8 @@
+"""Mini-repo CLI missing a catalog key; the registry opts out."""
+
+
+def _cmd_list(args):
+    catalog = {
+        "method_families": None,
+    }
+    return catalog

@@ -1,0 +1,9 @@
+"""Mini-repo CLI whose catalog misses a registry (REPRO401)."""
+
+
+def _cmd_list(args):
+    catalog = {
+        "method_families": None,
+        # widget_families missing -> REPRO401 in widgets.py
+    }
+    return catalog

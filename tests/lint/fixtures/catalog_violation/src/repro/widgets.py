@@ -1,0 +1,22 @@
+"""Registry module the mini-repo CLI forgot to surface."""
+
+_WIDGETS = {}
+
+
+def register_widget(name):
+    def wrap(cls):
+        _WIDGETS[name] = cls
+        return cls
+    return wrap
+
+
+def widget_families():
+    return dict(_WIDGETS)
+
+
+def method_families():
+    return {}
+
+
+def split_widget_list(text):   # helper prefixes are not enumerators
+    return text.split(",")

@@ -1,0 +1,24 @@
+"""The sanctioned spellings of everything determinism_violation.py does."""
+
+import random
+import time
+
+import numpy as np
+
+
+def sample(seed):
+    rng = np.random.default_rng(seed)
+    local = random.Random(seed)
+    return rng.random(4), local.random()
+
+
+def stamp():
+    return time.perf_counter()
+
+
+def drain(pending):
+    order = []
+    for item in sorted(set(pending)):
+        order.append(item)
+    totals = [x * 2 for x in sorted({1, 2, 3})]
+    return order, totals

@@ -1,0 +1,20 @@
+"""Same violations as determinism_violation.py, each pragma-suppressed."""
+
+import time
+
+import numpy as np
+
+
+def sample():
+    # repro: lint-ignore[REPRO101] fixture demonstrates the pragma form
+    return np.random.rand(4)
+
+
+def stamp():
+    started = time.time()  # repro: lint-ignore[REPRO102] trailing form
+    return started
+
+
+def drain(pending):
+    # repro: lint-ignore[REPRO103] order genuinely irrelevant here
+    return max(item for item in set(pending))

@@ -1,0 +1,32 @@
+"""Violates every determinism rule (REPRO101/102/103).
+
+Linted by tests/lint with a synthetic ``src/repro/sim/...`` relpath so
+the scoped rules apply; excluded from the default repo walk.
+"""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def sample():
+    np.random.seed(7)                    # REPRO101
+    draws = np.random.rand(4)            # REPRO101
+    jitter = random.random()             # REPRO101
+    return draws, jitter
+
+
+def stamp():
+    started = time.time()                # REPRO102
+    now = datetime.now()                 # REPRO102
+    return started, now
+
+
+def drain(pending):
+    order = []
+    for item in set(pending):            # REPRO103
+        order.append(item)
+    totals = [x * 2 for x in {1, 2, 3}]  # REPRO103
+    return order, totals

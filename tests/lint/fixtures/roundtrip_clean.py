@@ -1,0 +1,30 @@
+"""Toy registry whose grammar satisfies the round-trip law."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ToySpec:
+    family: str
+    p: int = 1
+
+    def signature(self):
+        return f"{self.family}?p={self.p}"
+
+
+def toy_families():
+    return {"good": ToySpec("good", p=2), "fine": ToySpec("fine", p=3)}
+
+
+def parse_toy(text):
+    family, _, params = text.partition("?")
+    p = 1
+    for pair in filter(None, params.split("&")):
+        key, _, value = pair.partition("=")
+        if key == "p":
+            p = int(value)
+    return ToySpec(family, p=p)
+
+
+def canonical_toy(text):
+    return parse_toy(text).signature()

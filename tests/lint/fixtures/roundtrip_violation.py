@@ -1,0 +1,38 @@
+"""Toy registry whose grammar breaks the round-trip law (REPRO301).
+
+Loaded as a module by tests/lint and fed to RoundTripRule via its
+``table`` override.  ``canonical_toy`` drops the parameter for the
+``bad`` family, so ``parse(canonical("bad?p=2")) != parse("bad?p=2")``.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ToySpec:
+    family: str
+    p: int = 1
+
+    def signature(self):
+        return f"{self.family}?p={self.p}"
+
+
+def toy_families():
+    return {"good": ToySpec("good", p=2), "bad": ToySpec("bad", p=2)}
+
+
+def parse_toy(text):
+    family, _, params = text.partition("?")
+    p = 1
+    for pair in filter(None, params.split("&")):
+        key, _, value = pair.partition("=")
+        if key == "p":
+            p = int(value)
+    return ToySpec(family, p=p)
+
+
+def canonical_toy(text):
+    spec = parse_toy(text)
+    if spec.family == "bad":
+        return spec.family          # loses p: round-trip broken
+    return spec.signature()

@@ -1,0 +1,12 @@
+"""Mini-repo artifact module matching its pin exactly."""
+
+SCHEMA_VERSION = 1
+
+SUMMARY_METRICS = (
+    "mean_jct_s",
+    "p99_jct_s",
+)
+
+_COMPARE_SCALARS = (
+    "mean_jct_s",
+)

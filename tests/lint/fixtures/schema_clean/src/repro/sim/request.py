@@ -1,0 +1,9 @@
+"""Mini-repo request module: per-request record fields."""
+
+
+class SimRequest:
+    def record(self):
+        return {
+            "request_id": 0,
+            "jct_s": 0.0,
+        }

@@ -1,0 +1,18 @@
+"""schema_violation's artifact module with the drift pragma-suppressed.
+
+REPRO501 anchors at the SUMMARY_METRICS assignment, so the pragma sits
+directly above it.
+"""
+
+SCHEMA_VERSION = 1
+
+# repro: lint-ignore[REPRO501] staged key, version bump lands next PR
+SUMMARY_METRICS = (
+    "mean_jct_s",
+    "p99_jct_s",
+    "throughput_rps",
+)
+
+_COMPARE_SCALARS = (
+    "mean_jct_s",
+)

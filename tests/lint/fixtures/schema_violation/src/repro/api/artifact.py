@@ -1,0 +1,17 @@
+"""Mini-repo artifact module whose keys drifted past its pin (REPRO501).
+
+``pin.json`` next to this mini-repo records two summary metrics at
+schema_version 1; the source grew a third without bumping the version.
+"""
+
+SCHEMA_VERSION = 1
+
+SUMMARY_METRICS = (
+    "mean_jct_s",
+    "p99_jct_s",
+    "throughput_rps",   # added without a SCHEMA_VERSION bump
+)
+
+_COMPARE_SCALARS = (
+    "mean_jct_s",
+)

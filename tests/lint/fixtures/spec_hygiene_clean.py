@@ -1,0 +1,29 @@
+"""Spec-hygiene rules satisfied: frozen specs, unique registrations."""
+
+from dataclasses import dataclass
+
+
+def register_family(name):
+    def wrap(cls):
+        return cls
+    return wrap
+
+
+@dataclass(frozen=True)
+class TidySpec:
+    bits: int = 4
+
+
+# Not a dataclass at all: the *Spec naming rule only covers dataclasses.
+class PlainSpec:
+    pass
+
+
+@register_family("alpha")
+class AlphaMethod:
+    pass
+
+
+@register_family("beta")
+class BetaMethod:
+    pass

@@ -1,0 +1,33 @@
+"""Violates the spec-hygiene rules (REPRO201/202).
+
+Linted with a synthetic ``src/repro/...`` relpath; the registration
+decorators are local stand-ins so the file parses without the repo.
+"""
+
+from dataclasses import dataclass
+
+
+def register_family(name):
+    def wrap(cls):
+        return cls
+    return wrap
+
+
+@dataclass
+class MutableSpec:                       # REPRO201: missing frozen=True
+    bits: int = 4
+
+
+@dataclass(frozen=False)
+class ThawedSpec:                        # REPRO201: frozen explicitly off
+    bits: int = 4
+
+
+@register_family("dup")
+class FirstMethod:
+    pass
+
+
+@register_family("dup")                  # REPRO202: duplicate name
+class SecondMethod:
+    pass

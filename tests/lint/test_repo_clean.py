@@ -1,0 +1,43 @@
+"""Meta-test: the live repository satisfies its own invariants.
+
+This is the same gate CI runs (``repro lint``): every rule over the
+whole tree, gated against the committed ``lint_baseline.json``.  If a
+change introduces a finding, either fix it, pragma it with a
+justification, or (for a deliberate schema change) bump SCHEMA_VERSION
+and refresh the pin.
+"""
+
+from repro.lint import lint_rules, run_lint
+from repro.lint.baseline import BASELINE_NAME, load_baseline
+
+
+class TestRepoLintsClean:
+    def test_live_repo_has_no_new_findings(self, repo_root):
+        result = run_lint(repo_root)
+        assert result.ok, "new lint findings:\n" + "\n".join(
+            f.render() for f in result.findings)
+
+    def test_baseline_carries_no_stale_entries(self, repo_root):
+        result = run_lint(repo_root)
+        assert result.stale_baseline == [], (
+            "baseline entries matching nothing; run "
+            "`repro lint --baseline-update`")
+
+    def test_walk_covers_the_tree(self, repo_root):
+        assert run_lint(repo_root).n_files > 150
+
+    def test_committed_baseline_parses(self, repo_root):
+        load_baseline(repo_root / BASELINE_NAME)  # raises if malformed
+
+
+class TestRuleInventory:
+    def test_all_six_families_registered(self):
+        codes = set(lint_rules())
+        families = {"REPRO1", "REPRO2", "REPRO3", "REPRO4", "REPRO5",
+                    "REPRO6"}
+        assert {c[:6] for c in codes} >= families
+
+    def test_every_rule_documents_itself(self):
+        for code, rule in lint_rules().items():
+            assert rule.description, f"{code} has no description"
+            assert rule.name and rule.name != "abstract"

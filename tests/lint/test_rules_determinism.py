@@ -1,0 +1,83 @@
+"""REPRO101/102/103: the determinism rule family."""
+
+from repro.lint.core import FileContext
+from repro.lint.rules.determinism import (SetIterationRule,
+                                          UnseededRngRule, WallClockRule)
+
+SIM_PATH = "src/repro/sim/fixture_mod.py"
+
+
+def _codes(rule, ctx):
+    return [f.code for f in rule.check_file(ctx)]
+
+
+class TestUnseededRng:
+    def test_fires_on_violation_fixture(self, fixture_ctx):
+        ctx = fixture_ctx("determinism_violation.py", SIM_PATH)
+        findings = list(UnseededRngRule().check_file(ctx))
+        assert len(findings) == 3
+        assert {f.code for f in findings} == {"REPRO101"}
+        assert any("np.random.seed" in f.message for f in findings)
+        assert any("random.random" in f.message for f in findings)
+
+    def test_clean_fixture_passes(self, fixture_ctx):
+        ctx = fixture_ctx("determinism_clean.py", SIM_PATH)
+        assert _codes(UnseededRngRule(), ctx) == []
+
+    def test_from_import_is_resolved(self):
+        ctx = FileContext(
+            SIM_PATH,
+            "from numpy.random import rand\nx = rand(3)\n")
+        assert _codes(UnseededRngRule(), ctx) == ["REPRO101"]
+
+    def test_scope_is_src_repro(self):
+        rule = UnseededRngRule()
+        assert rule.applies("src/repro/sim/engine.py")
+        assert not rule.applies("tests/sim/test_engine.py")
+
+
+class TestWallClock:
+    def test_fires_on_violation_fixture(self, fixture_ctx):
+        ctx = fixture_ctx("determinism_violation.py", SIM_PATH)
+        findings = list(WallClockRule().check_file(ctx))
+        assert len(findings) == 2
+        assert {f.code for f in findings} == {"REPRO102"}
+        assert any("time.time" in f.message for f in findings)
+        assert any("datetime.now" in f.message for f in findings)
+
+    def test_perf_counter_is_legal(self, fixture_ctx):
+        ctx = fixture_ctx("determinism_clean.py", SIM_PATH)
+        assert _codes(WallClockRule(), ctx) == []
+
+    def test_from_import_time(self):
+        ctx = FileContext(
+            SIM_PATH, "from time import time\nt = time()\n")
+        assert _codes(WallClockRule(), ctx) == ["REPRO102"]
+
+
+class TestSetIteration:
+    def test_fires_on_violation_fixture(self, fixture_ctx):
+        ctx = fixture_ctx("determinism_violation.py", SIM_PATH)
+        findings = list(SetIterationRule().check_file(ctx))
+        assert len(findings) == 2
+        assert {f.code for f in findings} == {"REPRO103"}
+
+    def test_sorted_wrapper_is_legal(self, fixture_ctx):
+        ctx = fixture_ctx("determinism_clean.py", SIM_PATH)
+        assert _codes(SetIterationRule(), ctx) == []
+
+    def test_scope_is_sim_only(self):
+        rule = SetIterationRule()
+        assert rule.applies("src/repro/sim/engine.py")
+        assert not rule.applies("src/repro/api/runner.py")
+
+
+class TestPragmaSuppression:
+    def test_every_finding_suppressed(self, fixture_ctx):
+        ctx = fixture_ctx("determinism_pragma.py", SIM_PATH)
+        findings = []
+        for rule in (UnseededRngRule(), WallClockRule(),
+                     SetIterationRule()):
+            findings.extend(rule.check_file(ctx))
+        assert len(findings) == 3  # one per rule in the fixture
+        assert all(ctx.suppresses(f) for f in findings)
